@@ -1,0 +1,50 @@
+// Ablation: parallel_for grain size on the construction algorithm's inner
+// loops — quantifies the granularity-control design choice (DESIGN.md §3).
+// Small grains expose more parallelism but pay task overhead; the default
+// auto grain (~8 leaves per worker) should sit near the knee.
+#include <benchmark/benchmark.h>
+
+#include "contraction/construct.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/scheduler.hpp"
+
+using namespace parct;
+
+namespace {
+
+void BM_ParallelForGrain(benchmark::State& state) {
+  par::scheduler::initialize(4);
+  const std::size_t n = 1 << 18;
+  std::vector<std::uint64_t> v(n, 1);
+  const std::size_t grain = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    par::parallel_for(0, n, [&](std::size_t i) { v[i] = v[i] * 3 + 1; },
+                      grain);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+// grain 0 = library default.
+BENCHMARK(BM_ParallelForGrain)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Arg(16384)
+    ->Arg(1 << 18);
+
+void BM_ConstructAtWorkerCount(benchmark::State& state) {
+  par::scheduler::initialize(static_cast<unsigned>(state.range(0)));
+  forest::Forest f = forest::build_tree(100000, 4, 0.6, 3);
+  for (auto _ : state) {
+    contract::ContractionForest c(f.capacity(), 4, 9);
+    benchmark::DoNotOptimize(contract::construct(c, f).rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_ConstructAtWorkerCount)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

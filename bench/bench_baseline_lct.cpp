@@ -1,0 +1,74 @@
+// Batched updates: parallel dynamic tree contraction vs the classic
+// sequential approach (paper §1) — iterating single-edge operations of a
+// Link-Cut Tree [Sleator-Tarjan 35] over the batch. The LCT column is the
+// "existing sequential dynamic tree algorithms ... iterated over the
+// batch" strategy; the dynamic-update column is this library.
+//
+// Note the two structures maintain different things (LCT answers path
+// queries lazily; the contraction structure maintains the full recorded
+// contraction, from which RC-style queries are answered), so this is a
+// workload-level comparison of the update path, not a microbenchmark of
+// identical work.
+#include <chrono>
+
+#include "baseline/link_cut_tree.hpp"
+#include "bench/common/bench_util.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+
+using namespace parct;
+
+int main() {
+  par::scheduler::initialize(1);  // sequential apples-to-apples
+  const std::size_t n = bench::default_n();
+  const int reps = bench::default_reps();
+
+  bench::TableWriter table(
+      "Baseline: batched edge re-insertion, LCT one-by-one vs dynamic "
+      "contraction update (n=" + std::to_string(n) +
+          ", chain factor 0.6, 1 processor)",
+      {"batch_m", "lct_time_s", "dynamic_time_s", "lct_over_dynamic"});
+
+  forest::Forest full = forest::build_tree(n, 4, 0.6, 0xBA5'EEEDull);
+  for (std::size_t m = 10; m <= n / 10; m *= 10) {
+    auto [initial, batch] = forest::make_insert_batch(full, m, m + 2);
+    forest::ChangeSet inverse;
+    inverse.remove_edges = batch.add_edges;
+
+    // --- LCT: build once, then time m link()s (restoring with m cut()s).
+    baseline::LinkCutTree lct(full.capacity());
+    for (const Edge& e : initial.edges()) lct.link(e.child, e.parent);
+    double lct_total = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (const Edge& e : batch.add_edges) lct.link(e.child, e.parent);
+      const auto t1 = std::chrono::steady_clock::now();
+      lct_total += std::chrono::duration<double>(t1 - t0).count();
+      for (const Edge& e : batch.add_edges) lct.cut(e.child);
+    }
+    const double t_lct = lct_total / reps;
+
+    // --- dynamic contraction update: one batched apply.
+    contract::ContractionForest c(full.capacity(), 4, 5);
+    contract::construct(c, initial);
+    contract::DynamicUpdater updater(c);
+    updater.apply(batch);
+    updater.apply(inverse);
+    double dyn_total = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      updater.apply(batch);
+      const auto t1 = std::chrono::steady_clock::now();
+      dyn_total += std::chrono::duration<double>(t1 - t0).count();
+      updater.apply(inverse);
+    }
+    const double t_dyn = dyn_total / reps;
+
+    table.row({std::to_string(m), bench::fmt_s(t_lct), bench::fmt_s(t_dyn),
+               bench::fmt(t_lct / t_dyn)});
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figures 10-13 and the appendix table: run time of the static algorithm
+// vs the (recording) construction algorithm across input sizes, for
+// perfect binary trees and chain factors 0.3 / 0.6 / 1.0.
+//
+// Expected shapes (paper): both scale linearly in n; their ratio is a
+// constant per tree type — paper reports 1.02 (perfect binary), 1.7 (cf
+// 0.3), 1.9 (cf 0.6), 2.4 (cf 1.0), i.e. construction < 2.5x static on
+// average (§4 "Construction Algorithm").
+#include <cstdio>
+
+#include "bench/common/bench_util.hpp"
+#include "contraction/construct.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+#include "static_contraction/static_contract.hpp"
+
+using namespace parct;
+
+namespace {
+
+struct Input {
+  const char* name;
+  forest::Forest (*build)(std::size_t n);
+};
+
+forest::Forest binary_tree(std::size_t n) {
+  std::size_t m = 1;
+  while (2 * m + 1 <= n) m = 2 * m + 1;
+  return forest::build_perfect_binary(m);
+}
+forest::Forest cf03(std::size_t n) {
+  return forest::build_tree(n, 4, 0.3, 0xF10'5EEDull);
+}
+forest::Forest cf06(std::size_t n) {
+  return forest::build_tree(n, 4, 0.6, 0xF10'5EEDull);
+}
+forest::Forest cf10(std::size_t n) {
+  return forest::build_tree(n, 4, 1.0, 0xF10'5EEDull);
+}
+
+}  // namespace
+
+int main() {
+  par::scheduler::initialize(1);  // paper's Figs 10-13 compare 1-proc runs
+  const std::size_t max_n = bench::default_n() * 2;
+  const int reps = bench::default_reps();
+  const Input inputs[] = {{"perfect_binary", binary_tree},
+                          {"chain_factor_0.3", cf03},
+                          {"chain_factor_0.6", cf06},
+                          {"chain_factor_1.0", cf10}};
+
+  bench::TableWriter table(
+      "Figures 10-13: static vs construction run time across sizes",
+      {"forest", "n", "static_time_s", "construction_time_s", "ratio"});
+
+  double ratio_sum[4] = {0, 0, 0, 0};
+  int ratio_count[4] = {0, 0, 0, 0};
+  int idx = 0;
+  for (const Input& input : inputs) {
+    for (std::size_t n = max_n / 8; n <= max_n; n *= 2) {
+      forest::Forest f = input.build(n);
+      const double t_static = bench::time_avg_s(
+          [&] {
+            hashing::CoinSchedule coins(11);
+            static_contraction::static_contract_sequential(f, coins);
+          },
+          reps);
+      const double t_constr = bench::time_avg_s(
+          [&] {
+            contract::ContractionForest c(f.capacity(), f.degree_bound(),
+                                          11);
+            contract::construct(c, f);
+          },
+          reps);
+      const double ratio = t_constr / t_static;
+      ratio_sum[idx] += ratio;
+      ++ratio_count[idx];
+      table.row({input.name, std::to_string(f.num_present()),
+                 bench::fmt_s(t_static), bench::fmt_s(t_constr),
+                 bench::fmt(ratio)});
+    }
+    ++idx;
+  }
+
+  bench::TableWriter summary(
+      "Appendix table: construction/static constant multiplier per tree "
+      "type (paper: 1.02 / 1.7 / 1.9 / 2.4)",
+      {"forest", "avg_ratio"});
+  for (int i = 0; i < 4; ++i) {
+    summary.row({inputs[i].name, bench::fmt(ratio_sum[i] / ratio_count[i])});
+  }
+  return 0;
+}

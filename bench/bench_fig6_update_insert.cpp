@@ -1,0 +1,66 @@
+// Figure 6: dynamic-update run time on 1 processor with respect to the
+// size of a batch of edge INSERTIONS (paper: n = 10^6, random tree).
+// The batch is cut out of a full tree and re-inserted by the timed update;
+// the inverse deletion restores the structure between repetitions (update
+// followed by its inverse is bit-for-bit identity — tested).
+//
+// Expected shape (Theorem 2): time grows as O(m log((n+m)/m)) — near-linear
+// in m with a shrinking log factor, strongly sub-linear in n for small m.
+#include <cmath>
+
+#include "bench/common/bench_util.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+
+using namespace parct;
+
+int main() {
+  par::scheduler::initialize(1);
+  const std::size_t n = bench::default_n();
+  const int reps = bench::default_reps();
+
+  bench::TableWriter table(
+      "Figure 6: batch-insert update time, 1 processor (n=" +
+          std::to_string(n) + ", chain factor 0.6)",
+      {"batch_m", "update_time_s", "time_per_edge_us", "affected_total",
+       "m_log_n_plus_m_over_m"});
+
+  forest::Forest full = forest::build_tree(n, 4, 0.6, 0xF16'6EEDull);
+  for (std::size_t m = 1; m <= n / 10; m *= 10) {
+    auto [initial, batch] = forest::make_insert_batch(full, m, m + 17);
+    forest::ChangeSet inverse;
+    inverse.remove_edges = batch.add_edges;
+
+    contract::ContractionForest c(full.capacity(), 4, 99);
+    contract::construct(c, initial);
+    contract::DynamicUpdater updater(c);
+    contract::UpdateStats stats;
+
+    // Warm-up + correctness of the restore cycle.
+    updater.apply(batch);
+    updater.apply(inverse);
+
+    // Time the forward insertion only; the inverse deletion (restoring the
+    // structure for the next repetition) runs outside the clock.
+    double total = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      stats = updater.apply(batch);
+      const auto t1 = std::chrono::steady_clock::now();
+      total += std::chrono::duration<double>(t1 - t0).count();
+      updater.apply(inverse);
+    }
+    const double t = total / reps;
+
+    const double bound =
+        static_cast<double>(m) *
+        std::log2(static_cast<double>(n + m) / static_cast<double>(m));
+    table.row({std::to_string(m), bench::fmt_s(t),
+               bench::fmt(t / m * 1e6), std::to_string(stats.total_affected),
+               bench::fmt(bound)});
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 7: self-speedup of the parallel update algorithm with respect to
+// the number of insertions (paper: n = 10^6, chain factor 0.6; batch sizes
+// from small to large; speedup = time(p=1) / time(p)).
+//
+// Expected shape: no speedup for small batches (too little work: for
+// constant m total work is O(log n) while span is Omega(log n)); growing
+// speedups as the batch size grows. On a single-core host the time-based
+// speedup stays ~1 or below by construction; the `affected_per_round`
+// column reports the machine-independent available parallelism (work per
+// propagation round, Lemma 10), which is what grows with m.
+#include <chrono>
+#include <cmath>
+
+#include "bench/common/bench_util.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+
+using namespace parct;
+
+int main() {
+  const std::size_t n = bench::default_n();
+  const int reps = bench::default_reps();
+
+  bench::TableWriter table(
+      "Figure 7: update self-speedup vs batch size (n=" + std::to_string(n) +
+          ", chain factor 0.6)",
+      {"batch_m", "p", "time_s", "self_speedup", "rounds",
+       "affected_per_round"});
+
+  forest::Forest full = forest::build_tree(n, 4, 0.6, 0xF17'5EEDull);
+  for (std::size_t m = 10; m <= n / 10; m *= 10) {
+    auto [initial, batch] = forest::make_insert_batch(full, m, m + 3);
+    forest::ChangeSet inverse;
+    inverse.remove_edges = batch.add_edges;
+
+    double t1 = 0.0;
+    for (unsigned p : bench::thread_sweep()) {
+      par::scheduler::initialize(p);
+      contract::ContractionForest c(full.capacity(), 4, 1234);
+      contract::construct(c, initial);
+      contract::DynamicUpdater updater(c);
+      contract::UpdateStats stats;
+
+      updater.apply(batch);
+      updater.apply(inverse);
+
+      double total = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        stats = updater.apply(batch);
+        const auto t_end = std::chrono::steady_clock::now();
+        total += std::chrono::duration<double>(t_end - t0).count();
+        updater.apply(inverse);
+      }
+      const double t = total / reps;
+      if (p == 1) t1 = t;
+      table.row({std::to_string(m), std::to_string(p), bench::fmt_s(t),
+                 bench::fmt(t1 / t), std::to_string(stats.rounds),
+                 bench::fmt(static_cast<double>(stats.total_affected) /
+                            std::max<std::uint32_t>(1, stats.rounds))});
+    }
+  }
+  par::scheduler::initialize(1);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Figure 8: ratio of the run time of the optimized STATIC SEQUENTIAL tree
+// contraction to the run time of the parallel dynamic update, as a
+// function of the number of processors, for several insertion batch sizes
+// (paper: n = 10^6, chain factor 0.6; ratios up to ~1000x for small
+// batches, ~5-10x for batches of 10^4).
+//
+// Expected shape: ratio >> 1 and decreasing in the batch size m (dynamism
+// pays off less as m -> n), increasing in p (parallelism compounds).
+#include <chrono>
+
+#include "bench/common/bench_util.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+#include "static_contraction/static_contract.hpp"
+
+using namespace parct;
+
+int main() {
+  const std::size_t n = bench::default_n();
+  const int reps = bench::default_reps();
+
+  forest::Forest full = forest::build_tree(n, 4, 0.6, 0xF18'5EEDull);
+
+  // Baseline: one static sequential contraction of the edited forest.
+  par::scheduler::initialize(1);
+  const double t_static = bench::time_avg_s(
+      [&] {
+        hashing::CoinSchedule coins(5);
+        static_contraction::static_contract_sequential(full, coins);
+      },
+      reps);
+
+  bench::TableWriter table(
+      "Figure 8: static-sequential / dynamic-update time ratio (n=" +
+          std::to_string(n) + ", chain factor 0.6; static_seq_time_s=" +
+          bench::fmt_s(t_static) + ")",
+      {"batch_m", "p", "dynamic_time_s", "ratio_static_over_dynamic"});
+
+  for (std::size_t m = 10; m <= n / 10; m *= 10) {
+    auto [initial, batch] = forest::make_insert_batch(full, m, m + 29);
+    forest::ChangeSet inverse;
+    inverse.remove_edges = batch.add_edges;
+
+    for (unsigned p : bench::thread_sweep()) {
+      par::scheduler::initialize(p);
+      contract::ContractionForest c(full.capacity(), 4, 5);
+      contract::construct(c, initial);
+      contract::DynamicUpdater updater(c);
+
+      updater.apply(batch);
+      updater.apply(inverse);
+
+      double total = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        updater.apply(batch);
+        const auto t1 = std::chrono::steady_clock::now();
+        total += std::chrono::duration<double>(t1 - t0).count();
+        updater.apply(inverse);
+      }
+      const double t_dyn = total / reps;
+      table.row({std::to_string(m), std::to_string(p),
+                 bench::fmt_s(t_dyn), bench::fmt(t_static / t_dyn)});
+    }
+  }
+  par::scheduler::initialize(1);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figure 9: dynamic-update run time on 1 processor for batches of edge
+// DELETIONS, on various input forests (paper: n = 10^6; perfect binary and
+// chain factors 0.3 / 0.6 / 1.0).
+//
+// Expected shapes: near-linear growth in m (Theorem 2), and deletions
+// cheaper than the insertions of Figure 6 (deletions only remove from the
+// contraction structure; insertions must extend it).
+#include <chrono>
+#include <cmath>
+
+#include "bench/common/bench_util.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+
+using namespace parct;
+
+namespace {
+
+struct Input {
+  const char* name;
+  forest::Forest (*build)(std::size_t n);
+};
+
+forest::Forest binary_tree(std::size_t n) {
+  std::size_t m = 1;
+  while (2 * m + 1 <= n) m = 2 * m + 1;
+  return forest::build_perfect_binary(m);
+}
+forest::Forest cf03(std::size_t n) {
+  return forest::build_tree(n, 4, 0.3, 0xF19'5EEDull);
+}
+forest::Forest cf06(std::size_t n) {
+  return forest::build_tree(n, 4, 0.6, 0xF19'5EEDull);
+}
+forest::Forest cf10(std::size_t n) {
+  return forest::build_tree(n, 4, 1.0, 0xF19'5EEDull);
+}
+
+}  // namespace
+
+int main() {
+  par::scheduler::initialize(1);
+  const std::size_t n = bench::default_n();
+  const int reps = bench::default_reps();
+  const Input inputs[] = {{"perfect_binary", binary_tree},
+                          {"chain_factor_0.3", cf03},
+                          {"chain_factor_0.6", cf06},
+                          {"chain_factor_1.0", cf10}};
+
+  bench::TableWriter table(
+      "Figure 9: batch-delete update time, 1 processor (n~" +
+          std::to_string(n) + ")",
+      {"forest", "batch_m", "update_time_s", "time_per_edge_us",
+       "affected_total"});
+
+  for (const Input& input : inputs) {
+    forest::Forest full = input.build(n);
+    for (std::size_t m = 1; m <= n / 10; m *= 10) {
+      forest::ChangeSet batch = forest::make_delete_batch(full, m, m + 5);
+      forest::ChangeSet inverse;
+      inverse.add_edges = batch.remove_edges;
+
+      contract::ContractionForest c(full.capacity(), 4, 7);
+      contract::construct(c, full);
+      contract::DynamicUpdater updater(c);
+      contract::UpdateStats stats;
+
+      updater.apply(batch);
+      updater.apply(inverse);
+
+      double total = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        stats = updater.apply(batch);
+        const auto t1 = std::chrono::steady_clock::now();
+        total += std::chrono::duration<double>(t1 - t0).count();
+        updater.apply(inverse);
+      }
+      const double t = total / reps;
+      table.row({input.name, std::to_string(m), bench::fmt_s(t),
+                 bench::fmt(t / m * 1e6),
+                 std::to_string(stats.total_affected)});
+    }
+  }
+  return 0;
+}

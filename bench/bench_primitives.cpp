@@ -1,0 +1,68 @@
+// google-benchmark microbenchmarks for the parallel primitives substrate:
+// prefix sums, compaction and tabulate throughput at several worker counts.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "hashing/splitmix64.hpp"
+#include "parallel/scheduler.hpp"
+#include "primitives/pack.hpp"
+#include "primitives/scan.hpp"
+#include "primitives/sequence_ops.hpp"
+
+using namespace parct;
+
+namespace {
+
+std::vector<std::uint32_t> inputs(std::size_t n) {
+  hashing::SplitMix64 rng(1);
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = static_cast<std::uint32_t>(rng.next_below(100));
+  return v;
+}
+
+void BM_ExclusiveScan(benchmark::State& state) {
+  par::scheduler::initialize(static_cast<unsigned>(state.range(1)));
+  auto in = inputs(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::uint32_t> out(in.size());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prim::exclusive_scan(in.data(), out.data(), in.size()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExclusiveScan)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4});
+
+void BM_Pack(benchmark::State& state) {
+  par::scheduler::initialize(static_cast<unsigned>(state.range(1)));
+  auto in = inputs(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prim::pack(in, [&](std::size_t i) { return (in[i] & 1) == 0; }));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Pack)
+    ->Args({1 << 16, 1})
+    ->Args({1 << 16, 4})
+    ->Args({1 << 20, 1})
+    ->Args({1 << 20, 4});
+
+void BM_Tabulate(benchmark::State& state) {
+  par::scheduler::initialize(static_cast<unsigned>(state.range(1)));
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        prim::tabulate(n, [](std::size_t i) { return 3 * i + 1; }));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Tabulate)->Args({1 << 20, 1})->Args({1 << 20, 4});
+
+}  // namespace
+
+BENCHMARK_MAIN();

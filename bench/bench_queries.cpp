@@ -1,0 +1,99 @@
+// Query throughput of the application layer on a maintained structure:
+// root finding / connectivity (RCForest), component weights
+// (TreeAggregate), and path-to-root aggregates (PathAggregate), compared
+// against the sequential Link-Cut Tree and Euler-Tour Tree baselines on
+// the same forest. All queries are O(log n) expected in all structures;
+// this bench pins down the constant factors.
+#include <chrono>
+
+#include "baseline/euler_tour_tree.hpp"
+#include "baseline/link_cut_tree.hpp"
+#include "bench/common/bench_util.hpp"
+#include "contraction/construct.hpp"
+#include "forest/tree_builder.hpp"
+#include "hashing/splitmix64.hpp"
+#include "parallel/scheduler.hpp"
+#include "rc/path_aggregate.hpp"
+#include "rc/rc_forest.hpp"
+#include "rc/subtree_aggregate.hpp"
+#include "rc/tree_aggregate.hpp"
+
+using namespace parct;
+
+int main() {
+  par::scheduler::initialize(1);
+  const std::size_t n = bench::default_n();
+  const std::size_t kQueries = 200000;
+
+  forest::Forest f = forest::build_tree(n, 4, 0.6, 0xC0FFEEull);
+
+  contract::ContractionForest c(n, 4, 3);
+  rc::PathAggregate<long, rc::PathPlus> path_sum(c, 0);
+  rc::SubtreeAggregate<long, rc::PathPlus> subtree_sum(c, 0);
+  contract::MultiHooks hooks{&path_sum, &subtree_sum};
+  hashing::SplitMix64 wrng(4);
+  for (VertexId v = 0; v < n; ++v) {
+    subtree_sum.stage_vertex_weight(v,
+                                    static_cast<long>(wrng.next_below(50)));
+    if (!f.is_root(v)) {
+      path_sum.stage_edge_weight(v,
+                                 static_cast<long>(wrng.next_below(100)));
+    }
+  }
+  contract::construct(c, f, &hooks);
+  rc::RCForest rcf(c);
+  rc::TreeAggregate<long> tree_w(rcf, std::vector<long>(n, 1));
+
+  baseline::LinkCutTree lct(n);
+  baseline::EulerTourTree ett(n, 5);
+  for (const Edge& e : f.edges()) {
+    lct.link(e.child, e.parent);
+    ett.link(e.child, e.parent);
+  }
+
+  // Pre-draw query vertices.
+  hashing::SplitMix64 rng(9);
+  std::vector<VertexId> qs(kQueries);
+  for (auto& q : qs) q = static_cast<VertexId>(rng.next_below(n));
+
+  bench::TableWriter table(
+      "Query throughput on n=" + std::to_string(n) +
+          " (chain factor 0.6), " + std::to_string(kQueries) + " queries",
+      {"structure", "query", "total_s", "ns_per_query"});
+
+  auto run = [&](const char* structure, const char* query, auto&& body) {
+    std::uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (VertexId q : qs) sink += body(q);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double t = std::chrono::duration<double>(t1 - t0).count();
+    table.row({structure, query, bench::fmt_s(t),
+               bench::fmt(t / kQueries * 1e9)});
+    if (sink == 0xDEADBEEF) std::printf("(impossible)\n");  // keep `sink`
+  };
+
+  run("rc_forest", "root", [&](VertexId q) { return rcf.root(q); });
+  run("link_cut_tree", "root",
+      [&](VertexId q) { return lct.find_root(q); });
+  run("rc_forest", "connected",
+      [&](VertexId q) { return rcf.connected(q, qs[q % kQueries]) ? 1 : 0; });
+  run("euler_tour_tree", "connected", [&](VertexId q) {
+    return ett.connected(q, qs[q % kQueries]) ? 1 : 0;
+  });
+  run("tree_aggregate", "component_weight",
+      [&](VertexId q) { return static_cast<std::uint64_t>(
+          tree_w.tree_weight(q)); });
+  run("euler_tour_tree", "component_size",
+      [&](VertexId q) { return ett.component_size(q); });
+  run("path_aggregate", "path_to_root_sum", [&](VertexId q) {
+    return static_cast<std::uint64_t>(path_sum.path_to_root(q));
+  });
+  run("link_cut_tree", "depth", [&](VertexId q) { return lct.depth(q); });
+  run("subtree_aggregate", "subtree_sum", [&](VertexId q) {
+    return static_cast<std::uint64_t>(subtree_sum.subtree_sum(q));
+  });
+  run("euler_tour_tree", "subtree_sum", [&](VertexId q) {
+    return static_cast<std::uint64_t>(ett.subtree_sum(q));
+  });
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Theorem-2 shape check (ablation-style bench): the measured work of a
+// dynamic update — total affected vertices summed over rounds — against
+// the closed-form bound m * log2((n+m)/m). The ratio column should stay
+// bounded by a constant across five decades of m; that is the
+// machine-independent core of the paper's headline result.
+#include <cmath>
+
+#include "bench/common/bench_util.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+
+using namespace parct;
+
+int main() {
+  par::scheduler::initialize(1);
+  const std::size_t n = bench::default_n();
+
+  bench::TableWriter table(
+      "Work bound: measured affected vertices vs m*log2((n+m)/m) (n=" +
+          std::to_string(n) + ", chain factor 0.6, insert batches)",
+      {"batch_m", "initial_affected", "total_affected", "max_affected",
+       "rounds", "bound", "measured_over_bound"});
+
+  forest::Forest full = forest::build_tree(n, 4, 0.6, 0xAB0'5EEDull);
+  for (std::size_t m = 1; m <= n / 2; m *= 4) {
+    auto [initial, batch] = forest::make_insert_batch(full, m, m + 1);
+    contract::ContractionForest c(full.capacity(), 4, 77);
+    contract::construct(c, initial);
+    contract::DynamicUpdater updater(c);
+    const contract::UpdateStats stats = updater.apply(batch);
+
+    const double bound =
+        static_cast<double>(m) *
+        std::max(1.0, std::log2(static_cast<double>(n + m) /
+                                static_cast<double>(m)));
+    table.row({std::to_string(m), std::to_string(stats.initial_affected),
+               std::to_string(stats.total_affected),
+               std::to_string(stats.max_affected),
+               std::to_string(stats.rounds), bench::fmt(bound),
+               bench::fmt(static_cast<double>(stats.total_affected) /
+                          bound)});
+  }
+  return 0;
+}

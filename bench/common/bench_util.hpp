@@ -1,0 +1,90 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Scales default to CI/laptop-friendly sizes; override with environment
+// variables to reach the paper's scale:
+//   PARCT_BENCH_N          base forest size (paper: 10^6, Fig 5: 4*10^6)
+//   PARCT_BENCH_REPS       repetitions averaged per data point (paper: 3)
+//   PARCT_BENCH_MAXTHREADS largest worker count in thread sweeps
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace parct::bench {
+
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  if (const char* s = std::getenv(name)) {
+    const long long v = std::atoll(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+inline std::size_t default_n() { return env_size("PARCT_BENCH_N", 200000); }
+inline int default_reps() {
+  return static_cast<int>(env_size("PARCT_BENCH_REPS", 3));
+}
+inline unsigned max_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<unsigned>(env_size(
+      "PARCT_BENCH_MAXTHREADS", hw == 0 ? 4 : std::max(hw, 4u)));
+}
+
+inline std::vector<unsigned> thread_sweep() {
+  std::vector<unsigned> ps;
+  for (unsigned p = 1; p <= max_threads(); p *= 2) ps.push_back(p);
+  if (ps.back() != max_threads()) ps.push_back(max_threads());
+  return ps;
+}
+
+/// Average seconds of `fn` over `reps` runs (each run timed separately).
+/// One untimed warm-up run precedes the measurements (cache/allocator
+/// warm-up; the paper averages 3 hot runs).
+template <typename F>
+double time_avg_s(F&& fn, int reps) {
+  using clock = std::chrono::steady_clock;
+  fn();
+  double total = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    fn();
+    const auto t1 = clock::now();
+    total += std::chrono::duration<double>(t1 - t0).count();
+  }
+  return total / reps;
+}
+
+struct TableWriter {
+  explicit TableWriter(const std::string& title,
+                       const std::vector<std::string>& columns) {
+    std::printf("\n## %s\n", title.c_str());
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      std::printf("%s%s", i ? "," : "", columns[i].c_str());
+    }
+    std::printf("\n");
+  }
+  void row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%s%s", i ? "," : "", cells[i].c_str());
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+};
+
+inline std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+inline std::string fmt_s(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6f", seconds);
+  return buf;
+}
+
+}  // namespace parct::bench

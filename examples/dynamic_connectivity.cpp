@@ -1,0 +1,77 @@
+// Dynamic connectivity on an evolving spanning forest — the classic
+// dynamic-trees workload the paper's introduction motivates: edges of a
+// network come and go in batches (link-ups and failures), and we answer
+// "are u and v connected?" between batches.
+//
+// The contraction structure absorbs each batch in O(m log(n/m)) expected
+// work; connectivity queries then run in O(log n) expected time.
+//
+//   $ ./examples/dynamic_connectivity
+#include <cstdio>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/validation.hpp"
+#include "hashing/splitmix64.hpp"
+#include "rc/rc_forest.hpp"
+
+using namespace parct;
+
+int main() {
+  const std::size_t n = 50000;
+  const std::size_t kBatches = 10;
+  const std::size_t kBatchSize = 200;
+  const std::size_t kQueries = 2000;
+
+  // A spanning forest of 8 "data centers" (independent trees).
+  forest::Forest network = forest::random_forest(n, 8, 4, 0.4, 1);
+  contract::ContractionForest structure(network.capacity(), 4, 7);
+  contract::construct(structure, network);
+  contract::DynamicUpdater updater(structure);
+
+  hashing::SplitMix64 rng(99);
+  std::uint64_t checksum = 0;
+  for (std::size_t b = 0; b < kBatches; ++b) {
+    // Fail kBatchSize random links...
+    forest::ChangeSet failures =
+        forest::make_delete_batch(network, kBatchSize, rng.next());
+    contract::UpdateStats st = updater.apply(failures);
+    network = forest::apply_change_set(network, failures);
+
+    // ...then repair half of them.
+    forest::ChangeSet repairs;
+    for (std::size_t i = 0; i < failures.remove_edges.size(); i += 2) {
+      repairs.add_edges.push_back(failures.remove_edges[i]);
+    }
+    st = updater.apply(repairs);
+    network = forest::apply_change_set(network, repairs);
+
+    // Query connectivity between random endpoint pairs.
+    rc::RCForest rcf(structure);
+    std::size_t connected = 0;
+    for (std::size_t q = 0; q < kQueries; ++q) {
+      const VertexId u = static_cast<VertexId>(rng.next_below(n));
+      const VertexId v = static_cast<VertexId>(rng.next_below(n));
+      const bool conn = rcf.connected(u, v);
+      // Spot-check against the slow pointer-chasing answer.
+      if (q < 20 &&
+          conn != (forest::root_of(network, u) ==
+                   forest::root_of(network, v))) {
+        std::printf("MISMATCH at batch %zu query %zu\n", b, q);
+        return 1;
+      }
+      connected += conn ? 1 : 0;
+    }
+    checksum = checksum * 31 + connected;
+    std::printf(
+        "batch %2zu: -%zu links +%zu links | %4u propagation rounds, "
+        "%6llu affected | %4zu/%zu query pairs connected\n",
+        b, failures.size(), repairs.size(), st.rounds,
+        static_cast<unsigned long long>(st.total_affected), connected,
+        kQueries);
+  }
+  std::printf("done (checksum %llu)\n",
+              static_cast<unsigned long long>(checksum));
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Incrementally maintained arithmetic expressions — the original
+// Miller-Reif tree-contraction application. An expression forest (n-ary
+// sums and products over constants) is evaluated by replaying the recorded
+// contraction; when the expression's *structure* changes (subexpressions
+// grafted or pruned), the contraction structure absorbs the change in
+// sublinear work and a replay recomputes all values.
+//
+//   $ ./examples/expression_evaluation
+#include <cstdio>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/forest.hpp"
+#include "rc/expression_eval.hpp"
+
+using namespace parct;
+using rc::ExprNode;
+using rc::Op;
+
+int main() {
+  // Build the expression  ((a + b) * (c + d)) + e  as a rooted tree:
+  //          0:+
+  //         /    .
+  //      1:*      2:e=4
+  //     /    .
+  //   3:+    4:+
+  //   / .    / .
+  // 5:a 6:b 7:c 8:d     a=1 b=2 c=3 d=5
+  forest::Forest f(12, 4, 9);  // ids 9..11 reserved for grafts
+  f.link(1, 0);
+  f.link(2, 0);
+  f.link(3, 1);
+  f.link(4, 1);
+  f.link(5, 3);
+  f.link(6, 3);
+  f.link(7, 4);
+  f.link(8, 4);
+
+  std::vector<ExprNode> nodes(12);
+  nodes[0] = {Op::kAdd, 0};
+  nodes[1] = {Op::kMul, 0};
+  nodes[2] = {Op::kLeaf, 4};
+  nodes[3] = {Op::kAdd, 0};
+  nodes[4] = {Op::kAdd, 0};
+  nodes[5] = {Op::kLeaf, 1};
+  nodes[6] = {Op::kLeaf, 2};
+  nodes[7] = {Op::kLeaf, 3};
+  nodes[8] = {Op::kLeaf, 5};
+
+  contract::ContractionForest structure(f.capacity(), 4, 2);
+  contract::construct(structure, f);
+  rc::ExpressionEvaluator eval(structure, nodes);
+  std::printf("((1+2) * (3+5)) + 4 = %g\n", eval.value_at_root(0));  // 28
+
+  // Leaf-value change: b := 10.
+  eval.set_leaf(6, 10);
+  eval.evaluate();
+  std::printf("((1+10) * (3+5)) + 4 = %g\n", eval.value_at_root(0));  // 92
+
+  // Structural change: replace leaf d (id 8) by the subexpression
+  // (6 * 7) — prune the leaf, graft a new product node.
+  forest::ChangeSet graft;
+  graft.del_vertex(8).del_edge(8, 4);
+  graft.ins_vertex(9).ins_vertex(10).ins_vertex(11);
+  graft.ins_edge(9, 4).ins_edge(10, 9).ins_edge(11, 9);
+  contract::modify_contraction(structure, graft);
+
+  std::vector<ExprNode> nodes2(12);
+  for (int i = 0; i < 9; ++i) nodes2[i] = nodes[i];
+  nodes2[6] = {Op::kLeaf, 10};
+  nodes2[9] = {Op::kMul, 0};
+  nodes2[10] = {Op::kLeaf, 6};
+  nodes2[11] = {Op::kLeaf, 7};
+  rc::ExpressionEvaluator eval2(structure, nodes2);
+  std::printf("((1+10) * (3+6*7)) + 4 = %g\n",
+              eval2.value_at_root(0));  // (11*45)+4 = 499
+
+  // Prune the whole product: the detached subtree keeps its own value.
+  forest::ChangeSet prune;
+  prune.del_edge(1, 0);
+  contract::modify_contraction(structure, prune);
+  eval2.evaluate();
+  std::printf("after pruning: root value %g, detached product %g\n",
+              eval2.value_at_root(0),   // 0 + 4 = 4
+              eval2.value_at_root(1));  // 11 * 45 = 495
+  return 0;
+}

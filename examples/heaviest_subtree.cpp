@@ -1,0 +1,83 @@
+// Heaviest-component tracking on a weighted, changing forest — the
+// paper's opening example ("an algorithm may compute the heaviest subtree
+// in an edge-weighted tree and may be required to update the result as the
+// tree undergoes changes").
+//
+// Vertices carry weights; TreeAggregate maintains each tree's total weight
+// at its root. After every batch of structural changes (or O(log n)-time
+// single-weight updates) we report the heaviest tree.
+//
+//   $ ./examples/heaviest_subtree
+#include <cstdio>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "hashing/splitmix64.hpp"
+#include "rc/rc_forest.hpp"
+#include "rc/tree_aggregate.hpp"
+
+using namespace parct;
+
+namespace {
+
+// Scans the current roots for the heaviest tree. (Roots are O(#trees).)
+std::pair<VertexId, long> heaviest(const forest::Forest& f,
+                                   const rc::TreeAggregate<long>& agg) {
+  VertexId best = kNoVertex;
+  long best_w = -1;
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (!f.present(v) || !f.is_root(v)) continue;
+    const long w = agg.tree_weight(v);
+    if (w > best_w) {
+      best_w = w;
+      best = v;
+    }
+  }
+  return {best, best_w};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = 30000;
+  forest::Forest f = forest::random_forest(n, 5, 4, 0.5, 3);
+
+  hashing::SplitMix64 rng(17);
+  std::vector<long> weights(n);
+  for (auto& w : weights) w = 1 + static_cast<long>(rng.next_below(100));
+
+  contract::ContractionForest structure(f.capacity(), 4, 11);
+  contract::construct(structure, f);
+  contract::DynamicUpdater updater(structure);
+
+  rc::RCForest rcf(structure);
+  rc::TreeAggregate<long> agg(rcf, weights);
+
+  auto [root0, w0] = heaviest(f, agg);
+  std::printf("initially: heaviest tree rooted at %u, weight %ld\n", root0,
+              w0);
+
+  for (int step = 0; step < 8; ++step) {
+    if (step % 2 == 0) {
+      // Structural change: split off subtrees by deleting random edges.
+      forest::ChangeSet m = forest::make_delete_batch(f, 50, rng.next());
+      updater.apply(m);
+      f = forest::apply_change_set(f, m);
+      rcf.rebuild();   // merge targets changed for the affected region
+      agg.rebuild();   // re-aggregate (O(n); see README for the trade-off)
+      std::printf("step %d: deleted 50 edges -> %zu trees. ", step,
+                  f.roots().size());
+    } else {
+      // Pure weight churn: O(log n) per update, no rebuilds needed.
+      for (int k = 0; k < 100; ++k) {
+        const VertexId v = static_cast<VertexId>(rng.next_below(n));
+        agg.set_weight(v, 1 + static_cast<long>(rng.next_below(1000)));
+      }
+      std::printf("step %d: updated 100 weights. ", step);
+    }
+    auto [root, w] = heaviest(f, agg);
+    std::printf("heaviest tree: root %u, weight %ld\n", root, w);
+  }
+  return 0;
+}

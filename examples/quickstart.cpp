@@ -1,0 +1,63 @@
+// Quickstart: build a forest, construct its contraction structure, apply a
+// batched dynamic update, and ask application-level queries.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+#include "rc/rc_forest.hpp"
+
+using namespace parct;
+
+int main() {
+  // The runtime picks PARCT_NUM_THREADS or the hardware concurrency; pin
+  // it explicitly if you like:
+  par::scheduler::initialize(0);
+  std::printf("workers: %u\n", par::scheduler::num_workers());
+
+  // 1. A random tree of 100k vertices, degree bound 4, chain factor 0.6
+  //    (the paper's favourite input), with spare ids for later insertions.
+  const std::size_t n = 100000;
+  forest::Forest f = forest::build_tree(n, 4, 0.6, /*seed=*/42,
+                                        /*extra_capacity=*/16);
+
+  // 2. Construct the contraction data structure (records every rake /
+  //    compress round; expected O(n) work and space).
+  contract::ContractionForest structure(f.capacity(), f.degree_bound(),
+                                        /*seed=*/2017);
+  const contract::ConstructStats cs = contract::construct(structure, f);
+  std::printf("constructed: %u rounds, %llu total work, %zu records\n",
+              cs.rounds, static_cast<unsigned long long>(cs.total_live),
+              structure.total_records());
+
+  // 3. A batched dynamic update: cut one edge deep in the tree and hang a
+  //    brand-new 3-vertex chain off the detached root. Expected work is
+  //    O(m log(n/m)) — a few hundred touched vertices, not 100k.
+  forest::ChangeSet batch;
+  batch.del_edge(70000, f.parent(70000));
+  batch.ins_vertex(n).ins_vertex(n + 1).ins_vertex(n + 2);
+  batch.ins_edge(n, 70000).ins_edge(n + 1, n).ins_edge(n + 2, n + 1);
+
+  contract::DynamicUpdater updater(structure);
+  const contract::UpdateStats us = updater.apply(batch);
+  std::printf(
+      "update: %u propagation rounds, %llu affected vertices in total "
+      "(batch size %zu)\n",
+      us.rounds, static_cast<unsigned long long>(us.total_affected),
+      batch.size());
+
+  // 4. Queries from the maintained structure: root finding and
+  //    connectivity in O(log n) expected time per query.
+  rc::RCForest rcf(structure);
+  std::printf("root of 70000 is now %u (tree root of 0 is %u)\n",
+              rcf.root(70000), rcf.root(0));
+  std::printf("70000 connected to 0? %s\n",
+              rcf.connected(70000, 0) ? "yes" : "no");
+  std::printf("new vertex %zu connected to 70000? %s\n", n + 2,
+              rcf.connected(static_cast<VertexId>(n + 2), 70000) ? "yes"
+                                                                 : "no");
+  return 0;
+}

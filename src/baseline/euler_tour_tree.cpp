@@ -1,0 +1,183 @@
+#include "baseline/euler_tour_tree.hpp"
+
+#include <cassert>
+
+#include "hashing/splitmix64.hpp"
+
+namespace parct::baseline {
+
+EulerTourTree::EulerTourTree(std::size_t n, std::uint64_t seed)
+    : n_(n), nodes_(3 * n), linked_(n, 0) {
+  hashing::SplitMix64 rng(seed);
+  for (Node& node : nodes_) node.priority = rng.next();
+}
+
+void EulerTourTree::pull(NodeId x) {
+  Node& nx = nodes_[x];
+  nx.count = 1;
+  nx.sum = nx.weight;
+  if (nx.left != kNil) {
+    nx.count += nodes_[nx.left].count;
+    nx.sum += nodes_[nx.left].sum;
+  }
+  if (nx.right != kNil) {
+    nx.count += nodes_[nx.right].count;
+    nx.sum += nodes_[nx.right].sum;
+  }
+}
+
+EulerTourTree::NodeId EulerTourTree::tree_root(NodeId x) const {
+  while (nodes_[x].parent != kNil) x = nodes_[x].parent;
+  return x;
+}
+
+EulerTourTree::NodeId EulerTourTree::merge(NodeId a, NodeId b) {
+  if (a == kNil) return b;
+  if (b == kNil) return a;
+  if (nodes_[a].priority >= nodes_[b].priority) {
+    const NodeId r = merge(nodes_[a].right, b);
+    nodes_[a].right = r;
+    nodes_[r].parent = a;
+    pull(a);
+    return a;
+  }
+  const NodeId l = merge(a, nodes_[b].left);
+  nodes_[b].left = l;
+  nodes_[l].parent = b;
+  pull(b);
+  return b;
+}
+
+std::pair<EulerTourTree::NodeId, EulerTourTree::NodeId>
+EulerTourTree::split_before(NodeId x) {
+  // Finger split: detach x's left subtree (it precedes x), then walk to
+  // the treap root folding each ancestor (and its other subtree) into the
+  // correct side.
+  NodeId l = nodes_[x].left;
+  if (l != kNil) nodes_[l].parent = kNil;
+  nodes_[x].left = kNil;
+  pull(x);
+  NodeId r = x;
+
+  NodeId child = x;
+  NodeId par = nodes_[x].parent;
+  nodes_[x].parent = kNil;
+  while (par != kNil) {
+    const NodeId grand = nodes_[par].parent;
+    const bool child_was_left = nodes_[par].left == child;
+    nodes_[par].parent = kNil;
+    if (child_was_left) {
+      // par and its right subtree come after x: fold into the right part.
+      nodes_[par].left = r;
+      if (r != kNil) nodes_[r].parent = par;
+      pull(par);
+      r = par;
+    } else {
+      // par and its left subtree come before x: fold into the left part.
+      nodes_[par].right = l;
+      if (l != kNil) nodes_[l].parent = par;
+      pull(par);
+      l = par;
+    }
+    child = par;
+    par = grand;
+  }
+  return {l, r};
+}
+
+std::pair<EulerTourTree::NodeId, EulerTourTree::NodeId>
+EulerTourTree::split_after(NodeId x) {
+  NodeId r = nodes_[x].right;
+  if (r != kNil) nodes_[r].parent = kNil;
+  nodes_[x].right = kNil;
+  pull(x);
+  NodeId l = x;
+
+  NodeId child = x;
+  NodeId par = nodes_[x].parent;
+  nodes_[x].parent = kNil;
+  while (par != kNil) {
+    const NodeId grand = nodes_[par].parent;
+    const bool child_was_left = nodes_[par].left == child;
+    nodes_[par].parent = kNil;
+    if (child_was_left) {
+      nodes_[par].left = r;
+      if (r != kNil) nodes_[r].parent = par;
+      pull(par);
+      r = par;
+    } else {
+      nodes_[par].right = l;
+      if (l != kNil) nodes_[l].parent = par;
+      pull(par);
+      l = par;
+    }
+    child = par;
+    par = grand;
+  }
+  return {l, r};
+}
+
+void EulerTourTree::link(VertexId child, VertexId parent) {
+  assert(!linked_[child] && "link requires the child to be a root");
+  assert(!connected(child, parent) && "link would create a cycle");
+  const NodeId tc = tree_root(loop(child));
+  auto [a, b] = split_after(loop(parent));
+  // a ends at loop(parent); insert down(child) + tour(child) + up(child).
+  NodeId seq = merge(a, down(child));
+  seq = merge(seq, tc);
+  seq = merge(seq, up(child));
+  merge(seq, b);
+  linked_[child] = 1;
+}
+
+void EulerTourTree::cut(VertexId child) {
+  assert(linked_[child] && "cut requires a non-root vertex");
+  auto [a, rest] = split_before(down(child));
+  auto [mid, b] = split_after(up(child));
+  // mid = down(child) tour(child) up(child); strip the two arc nodes.
+  auto [d, inner_with_up] = split_after(down(child));
+  (void)d;  // single node [down(child)], now detached
+  auto [inner, u] = split_before(up(child));
+  (void)u;  // single node [up(child)], now detached
+  (void)inner;  // child's tour is now its own treap
+  (void)mid;
+  merge(a, b);
+  linked_[child] = 0;
+}
+
+bool EulerTourTree::connected(VertexId u, VertexId v) const {
+  return tree_root(loop(u)) == tree_root(loop(v));
+}
+
+void EulerTourTree::set_weight(VertexId v, long w) {
+  NodeId x = loop(v);
+  nodes_[x].weight = w;
+  while (x != kNil) {
+    pull(x);
+    x = nodes_[x].parent;
+  }
+}
+
+long EulerTourTree::component_sum(VertexId v) const {
+  return nodes_[tree_root(loop(v))].sum;
+}
+
+std::size_t EulerTourTree::component_size(VertexId v) const {
+  // count = loops + 2 * (edges) and every non-root vertex contributes
+  // exactly one down/up pair: count = k + 2(k-1) for a k-vertex tree.
+  const std::uint32_t c = nodes_[tree_root(loop(v))].count;
+  return (c + 2) / 3;
+}
+
+long EulerTourTree::subtree_sum(VertexId v) {
+  if (!linked_[v]) return component_sum(v);
+  // Carve out [down(v) .. up(v)], read its sum, and stitch it back.
+  auto [a, rest] = split_before(down(v));
+  auto [mid, b] = split_after(up(v));
+  const long result = nodes_[tree_root(down(v))].sum;
+  merge(merge(a, mid), b);
+  (void)rest;
+  return result;
+}
+
+}  // namespace parct::baseline

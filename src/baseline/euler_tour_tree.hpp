@@ -1,0 +1,83 @@
+// Sequential Euler-Tour Trees (Henzinger-King / Tarjan — the paper's
+// citations [21, 39]): the second classic sequential dynamic-trees
+// baseline. Maintains the Euler tour of every tree in a treap (randomized
+// balanced BST) keyed by implicit position, giving O(log n) expected
+// link / cut / connectivity plus weighted component and *subtree* sums.
+//
+// Encoding: three sequence nodes per vertex — a "loop" visit carrying the
+// vertex weight, and (when the parent edge exists) "down" and "up" arc
+// visits bracketing the vertex's subtree in the tour. A tree's tour is
+//   loop(r) [down(c1) tour(c1) up(c1)] [down(c2) tour(c2) up(c2)] ...
+// so the segment [down(v) .. up(v)] spans exactly v's subtree.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/types.hpp"
+
+namespace parct::baseline {
+
+class EulerTourTree {
+ public:
+  /// n vertices, all initially isolated with weight 0.
+  explicit EulerTourTree(std::size_t n, std::uint64_t seed = 0xE77ull);
+
+  std::size_t size() const { return n_; }
+
+  /// Attaches root `child` under `parent` (child's subtree is spliced into
+  /// the tour right after loop(parent)). Precondition: child is a tree
+  /// root, different trees. O(log n) expected.
+  void link(VertexId child, VertexId parent);
+
+  /// Detaches `child` (and its subtree) from its parent. Precondition:
+  /// child is not a root. O(log n) expected.
+  void cut(VertexId child);
+
+  bool is_root(VertexId v) const { return !linked_[v]; }
+  bool connected(VertexId u, VertexId v) const;
+
+  void set_weight(VertexId v, long w);
+  long weight(VertexId v) const { return nodes_[v].weight; }
+
+  /// Total weight of v's tree. O(log n) expected.
+  long component_sum(VertexId v) const;
+  /// Number of vertices in v's tree. O(log n) expected.
+  std::size_t component_size(VertexId v) const;
+
+  /// Total weight of v's subtree (v included). O(log n) expected.
+  long subtree_sum(VertexId v);
+
+ private:
+  using NodeId = std::uint32_t;
+  static constexpr NodeId kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    NodeId left = kNil;
+    NodeId right = kNil;
+    NodeId parent = kNil;
+    std::uint64_t priority = 0;
+    std::uint32_t count = 1;  // sequence nodes in subtree
+    long weight = 0;          // loop nodes only
+    long sum = 0;             // subtree weight sum
+  };
+
+  NodeId loop(VertexId v) const { return v; }
+  NodeId down(VertexId v) const { return static_cast<NodeId>(n_ + v); }
+  NodeId up(VertexId v) const { return static_cast<NodeId>(2 * n_ + v); }
+
+  void pull(NodeId x);
+  NodeId tree_root(NodeId x) const;
+  /// Merges two treaps (all of a's positions precede b's).
+  NodeId merge(NodeId a, NodeId b);
+  /// Splits so that `x` is the first node of the right part.
+  std::pair<NodeId, NodeId> split_before(NodeId x);
+  /// Splits so that `x` is the last node of the left part.
+  std::pair<NodeId, NodeId> split_after(NodeId x);
+
+  std::size_t n_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint8_t> linked_;  // parent edge present?
+};
+
+}  // namespace parct::baseline

@@ -1,0 +1,121 @@
+#include "baseline/link_cut_tree.hpp"
+
+#include <cassert>
+
+namespace parct::baseline {
+
+LinkCutTree::LinkCutTree(std::size_t n) : nodes_(n) {}
+
+bool LinkCutTree::is_splay_root(VertexId v) const {
+  const VertexId p = nodes_[v].parent;
+  return p == kNoVertex ||
+         (nodes_[p].left != v && nodes_[p].right != v);
+}
+
+void LinkCutTree::pull(VertexId v) {
+  std::uint32_t s = 1;
+  if (nodes_[v].left != kNoVertex) s += nodes_[nodes_[v].left].size;
+  if (nodes_[v].right != kNoVertex) s += nodes_[nodes_[v].right].size;
+  nodes_[v].size = s;
+}
+
+void LinkCutTree::rotate(VertexId v) {
+  const VertexId p = nodes_[v].parent;
+  const VertexId g = nodes_[p].parent;
+  const bool v_is_left = nodes_[p].left == v;
+
+  // v's inner child moves to p.
+  const VertexId b = v_is_left ? nodes_[v].right : nodes_[v].left;
+  if (v_is_left) {
+    nodes_[v].right = p;
+    nodes_[p].left = b;
+  } else {
+    nodes_[v].left = p;
+    nodes_[p].right = b;
+  }
+  if (b != kNoVertex) nodes_[b].parent = p;
+
+  nodes_[v].parent = g;
+  if (g != kNoVertex) {
+    if (nodes_[g].left == p) {
+      nodes_[g].left = v;
+    } else if (nodes_[g].right == p) {
+      nodes_[g].right = v;
+    }
+    // else: p was a splay root; v inherits its path-parent pointer.
+  }
+  nodes_[p].parent = v;
+  pull(p);
+  pull(v);
+}
+
+void LinkCutTree::splay(VertexId v) {
+  while (!is_splay_root(v)) {
+    const VertexId p = nodes_[v].parent;
+    if (!is_splay_root(p)) {
+      const VertexId g = nodes_[p].parent;
+      const bool zig_zig =
+          (nodes_[g].left == p) == (nodes_[p].left == v);
+      rotate(zig_zig ? p : v);
+    }
+    rotate(v);
+  }
+}
+
+VertexId LinkCutTree::access(VertexId v) {
+  splay(v);
+  if (nodes_[v].right != kNoVertex) {
+    // The deeper part of v's preferred path becomes unpreferred; it keeps
+    // its parent pointer to v as a path-parent.
+    nodes_[v].right = kNoVertex;
+    pull(v);
+  }
+  VertexId last = v;
+  while (nodes_[v].parent != kNoVertex) {
+    const VertexId w = nodes_[v].parent;
+    last = w;
+    splay(w);
+    if (nodes_[w].right != kNoVertex) {
+      nodes_[w].right = kNoVertex;
+      pull(w);
+    }
+    nodes_[w].right = v;  // v.parent == w already (path-parent becomes child)
+    pull(w);
+    splay(v);
+  }
+  return last;
+}
+
+void LinkCutTree::link(VertexId child, VertexId parent) {
+  assert(find_root(child) == child && "link requires child to be a root");
+  assert(find_root(parent) != child && "link would create a cycle");
+  access(child);   // child alone on its preferred-path tree (depth 0)
+  access(parent);  // parent at the top of its path tree
+  nodes_[child].parent = parent;
+  nodes_[parent].right = child;
+  pull(parent);
+}
+
+void LinkCutTree::cut(VertexId child) {
+  access(child);
+  const VertexId l = nodes_[child].left;
+  assert(l != kNoVertex && "cut requires a non-root vertex");
+  nodes_[l].parent = kNoVertex;
+  nodes_[child].left = kNoVertex;
+  pull(child);
+}
+
+VertexId LinkCutTree::find_root(VertexId v) {
+  access(v);
+  VertexId x = v;
+  while (nodes_[x].left != kNoVertex) x = nodes_[x].left;
+  splay(x);  // amortization
+  return x;
+}
+
+std::size_t LinkCutTree::depth(VertexId v) {
+  access(v);
+  return nodes_[v].left == kNoVertex ? 0 : nodes_[nodes_[v].left].size;
+}
+
+}  // namespace parct::baseline

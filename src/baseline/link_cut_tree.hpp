@@ -1,0 +1,67 @@
+// Sequential Link-Cut Trees (Sleator & Tarjan [35] — the paper's first
+// dynamic-trees citation): the classic comparison point for batched
+// updates. A batch of m changes is applied by iterating the m single-edge
+// operations — the approach the paper's introduction argues is neither
+// parallel nor work-efficient. bench_baseline_lct quantifies the contrast.
+//
+// This implementation targets *rooted* forests (matching forest::Forest):
+// link(child, parent) requires `child` to be a tree root, so no evert/flip
+// machinery is needed. Supported: link, cut, find_root, connected, depth —
+// all O(log n) amortized via splay trees over preferred paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/types.hpp"
+
+namespace parct::baseline {
+
+class LinkCutTree {
+ public:
+  explicit LinkCutTree(std::size_t n);
+
+  std::size_t size() const { return nodes_.size(); }
+
+  /// Attaches root `child` under `parent`. Precondition: child is the root
+  /// of its tree and the two vertices are in different trees.
+  void link(VertexId child, VertexId parent);
+
+  /// Detaches `child` from its parent. Precondition: child is not a root.
+  void cut(VertexId child);
+
+  /// Root of v's tree. O(log n) amortized.
+  VertexId find_root(VertexId v);
+
+  bool connected(VertexId u, VertexId v) {
+    return find_root(u) == find_root(v);
+  }
+
+  /// Number of edges on the path from v to its root. O(log n) amortized.
+  std::size_t depth(VertexId v);
+
+  /// True if v has no represented parent edge.
+  bool is_root(VertexId v) { return find_root(v) == v; }
+
+ private:
+  struct Node {
+    VertexId left = kNoVertex;
+    VertexId right = kNoVertex;
+    // Parent in the splay tree, or (for a splay root) the path-parent
+    // pointer into the next preferred path up; kNoVertex at the top.
+    VertexId parent = kNoVertex;
+    std::uint32_t size = 1;  // splay subtree size (for depth queries)
+  };
+
+  bool is_splay_root(VertexId v) const;
+  void pull(VertexId v);
+  void rotate(VertexId v);
+  void splay(VertexId v);
+  /// Makes the path from v to its tree root preferred and splays v to the
+  /// top of its path tree. Returns the last path-top encountered.
+  VertexId access(VertexId v);
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace parct::baseline

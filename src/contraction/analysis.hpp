@@ -1,0 +1,71 @@
+// Post-hoc analysis of a contraction data structure: per-round live
+// counts and contraction-kind histograms, straight from the records. Used
+// by the property tests (Lemma 5's geometric decay, rake/compress mix) and
+// by the benchmark harness for machine-independent work/depth reporting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "contraction/contraction_forest.hpp"
+
+namespace parct::contract {
+
+struct RoundProfile {
+  std::uint32_t live = 0;       // |V^i|
+  std::uint32_t finalizes = 0;  // deaths in this round, by kind
+  std::uint32_t rakes = 0;
+  std::uint32_t compresses = 0;
+
+  std::uint32_t contracted() const {
+    return finalizes + rakes + compresses;
+  }
+};
+
+struct ContractionProfile {
+  std::vector<RoundProfile> rounds;
+
+  std::uint32_t num_rounds() const {
+    return static_cast<std::uint32_t>(rounds.size());
+  }
+  std::uint64_t total_work() const {
+    std::uint64_t w = 0;
+    for (const RoundProfile& r : rounds) w += r.live;
+    return w;
+  }
+  /// Largest live-set shrink factor |V^{i+1}| / |V^i| over all rounds with
+  /// at least `min_live` vertices — empirical beta of Lemma 5.
+  double worst_decay(std::uint32_t min_live = 32) const {
+    double worst = 0.0;
+    for (std::size_t i = 0; i + 1 < rounds.size(); ++i) {
+      if (rounds[i].live < min_live) continue;
+      worst = std::max(worst, static_cast<double>(rounds[i + 1].live) /
+                                  rounds[i].live);
+    }
+    return worst;
+  }
+};
+
+/// Scans all records. O(total records).
+inline ContractionProfile profile(const ContractionForest& c) {
+  ContractionProfile p;
+  for (VertexId v = 0; v < c.capacity(); ++v) {
+    const std::uint32_t d = c.duration(v);
+    if (d == 0) continue;
+    if (p.rounds.size() < d) p.rounds.resize(d);
+    for (std::uint32_t i = 0; i < d; ++i) ++p.rounds[i].live;
+    const RoundRecord& last = c.record(d - 1, v);
+    if (children_empty(last.children)) {
+      if (last.parent == v) {
+        ++p.rounds[d - 1].finalizes;
+      } else {
+        ++p.rounds[d - 1].rakes;
+      }
+    } else {
+      ++p.rounds[d - 1].compresses;
+    }
+  }
+  return p;
+}
+
+}  // namespace parct::contract

@@ -1,0 +1,114 @@
+#include "contraction/construct.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "primitives/pack.hpp"
+
+namespace parct::contract {
+
+namespace {
+
+// One round of RandomizedContract (paper Fig. 1): classify every live
+// vertex, allocate next-round records for survivors, promote edges, then
+// compact the live set.
+std::vector<VertexId> randomized_contract(ContractionForest& c,
+                                          std::uint32_t i,
+                                          const std::vector<VertexId>& live,
+                                          std::vector<Kind>& status,
+                                          EventHooks* hooks) {
+  c.coins().ensure_rounds(i + 2);
+  const std::size_t n = live.size();
+
+  // Phase A: contraction decisions. `status` is indexed by vertex id and
+  // only entries of live vertices are read, so no per-round reset needed.
+  par::parallel_for(0, n, [&](std::size_t k) {
+    status[live[k]] = c.classify(i, live[k]);
+  });
+
+  // Phase B: allocate and blank the round-(i+1) record of every survivor.
+  // Each iteration touches only its own vertex's history, so growth is
+  // race-free.
+  par::parallel_for(0, n, [&](std::size_t k) {
+    const VertexId v = live[k];
+    if (status[v] != Kind::kSurvive) return;
+    c.ensure_round(v, i + 1);
+    RoundRecord& r = c.record_mut(i + 1, v);
+    r.parent = v;
+    r.parent_slot = 0;
+    r.children = kEmptyChildren;
+  });
+
+  // Phase C: PromoteEdges (paper Fig. 2). Every round-(i+1) field has
+  // exactly one writer: a vertex's parent pointer is written by its
+  // surviving parent or by its compressing parent's promotion; child slot
+  // (p, j) is written by the surviving vertex owning j or by the vertex
+  // its compressing owner hands it to.
+  par::parallel_for(0, n, [&](std::size_t k) {
+    const VertexId v = live[k];
+    const RoundRecord& r = c.record(i, v);
+    switch (status[v]) {
+      case Kind::kSurvive: {
+        if (hooks) hooks->on_vertex_persist(i, v);
+        if (r.parent != v && status[r.parent] == Kind::kSurvive) {
+          c.record_mut(i + 1, r.parent).children[r.parent_slot] = v;
+          if (hooks) hooks->on_edge_persist(i, v, r.parent);
+        }
+        for (int s = 0; s < kMaxDegree; ++s) {
+          const VertexId u = r.children[s];
+          if (u == kNoVertex || status[u] != Kind::kSurvive) continue;
+          RoundRecord& ru = c.record_mut(i + 1, u);
+          ru.parent = v;
+          ru.parent_slot = static_cast<std::uint8_t>(s);
+        }
+        break;
+      }
+      case Kind::kFinalize:
+        c.set_duration(v, i + 1);
+        if (hooks) hooks->on_finalize(i, v);
+        break;
+      case Kind::kRake:
+        c.set_duration(v, i + 1);
+        if (hooks) hooks->on_rake(i, v, r.parent);
+        break;
+      case Kind::kCompress: {
+        const VertexId u = only_child(r.children);
+        // Both endpoints survive (the parent flipped tails, the child is
+        // not a leaf and flipped tails), so their records exist.
+        c.record_mut(i + 1, r.parent).children[r.parent_slot] = u;
+        RoundRecord& ru = c.record_mut(i + 1, u);
+        ru.parent = r.parent;
+        ru.parent_slot = r.parent_slot;
+        c.set_duration(v, i + 1);
+        if (hooks) hooks->on_compress(i, v, u, r.parent);
+        break;
+      }
+    }
+  });
+
+  // Phase D: compact the live set (the paper's C(n) subroutine).
+  return prim::pack(live, [&](std::size_t k) {
+    return status[live[k]] == Kind::kSurvive;
+  });
+}
+
+}  // namespace
+
+ConstructStats construct(ContractionForest& c, const forest::Forest& f,
+                         EventHooks* hooks) {
+  c.init_from_forest(f);
+  if (hooks) hooks->on_begin(c.capacity());
+  std::vector<VertexId> live = f.vertices();
+  std::vector<Kind> status(c.capacity(), Kind::kSurvive);
+
+  ConstructStats stats;
+  std::uint32_t i = 0;
+  while (!live.empty()) {
+    stats.total_live += live.size();
+    stats.live_per_round.push_back(static_cast<std::uint32_t>(live.size()));
+    live = randomized_contract(c, i, live, status, hooks);
+    ++i;
+  }
+  stats.rounds = i;
+  return stats;
+}
+
+}  // namespace parct::contract

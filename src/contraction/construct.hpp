@@ -1,0 +1,31 @@
+// The construction algorithm (paper §2.4, Fig. 1): run Miller-Reif
+// randomized tree contraction on the input forest and record every round
+// into the contraction data structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "contraction/contraction_forest.hpp"
+#include "contraction/hooks.hpp"
+#include "forest/forest.hpp"
+
+namespace parct::contract {
+
+struct ConstructStats {
+  std::uint32_t rounds = 0;
+  /// Sum over rounds of |V^i| — the algorithm's total work measure
+  /// (Theorem 1: O(n) in expectation).
+  std::uint64_t total_live = 0;
+  /// |V^i| per round (for the geometric-decay property tests, Lemma 5).
+  std::vector<std::uint32_t> live_per_round;
+};
+
+/// Runs ForestContraction(V, E): initializes `c` from `f` (round 0) and
+/// contracts until every vertex is dead, filling P, C and D. Uses the coin
+/// schedule already attached to `c`, so the result is deterministic in
+/// (f, c.seed()). Parallelized over the live set each round.
+ConstructStats construct(ContractionForest& c, const forest::Forest& f,
+                         EventHooks* hooks = nullptr);
+
+}  // namespace parct::contract

@@ -1,0 +1,93 @@
+#include "contraction/contraction_forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parct::contract {
+
+ContractionForest::ContractionForest(std::size_t capacity, int degree_bound,
+                                     std::uint64_t seed)
+    : degree_bound_(degree_bound), coins_(seed), history_(capacity) {
+  if (degree_bound < 1 || degree_bound > kMaxDegree) {
+    throw std::invalid_argument("degree_bound must be in [1, kMaxDegree]");
+  }
+}
+
+void ContractionForest::ensure_capacity(std::size_t capacity) {
+  if (history_.size() < capacity) history_.resize(capacity);
+}
+
+void ContractionForest::init_from_forest(const forest::Forest& f) {
+  ensure_capacity(f.capacity());
+  par::parallel_for(0, history_.size(), [&](std::size_t i) {
+    const VertexId v = static_cast<VertexId>(i);
+    VertexHistory& h = history_[v];
+    h.duration = 0;
+    if (i >= f.capacity() || !f.present(v)) {
+      h.rounds.clear();
+      return;
+    }
+    h.rounds.resize(1);
+    RoundRecord& r = h.rounds[0];
+    r.parent = f.parent(v);
+    r.parent_slot = static_cast<std::uint8_t>(f.parent_slot(v));
+    r.children = f.children(v);
+  });
+}
+
+std::uint32_t ContractionForest::num_rounds() const {
+  std::uint32_t best = 0;
+  for (const VertexHistory& h : history_) best = std::max(best, h.duration);
+  return best;
+}
+
+forest::Forest ContractionForest::extract_forest() const {
+  forest::Forest f(capacity(), degree_bound_, 0);
+  for (VertexId v = 0; v < capacity(); ++v) {
+    if (duration(v) > 0) f.add_vertex(v);
+  }
+  for (VertexId v = 0; v < capacity(); ++v) {
+    if (duration(v) == 0) continue;
+    const VertexId p = record(0, v).parent;
+    if (p != v) f.link(v, p);
+  }
+  return f;
+}
+
+std::size_t ContractionForest::total_records() const {
+  std::size_t total = 0;
+  for (const VertexHistory& h : history_) total += h.rounds.size();
+  return total;
+}
+
+namespace {
+
+// Children as a sorted set (ignoring slot positions).
+ChildArray sorted_children(const RoundRecord& r) {
+  ChildArray c = r.children;
+  std::sort(c.begin(), c.end());
+  return c;
+}
+
+}  // namespace
+
+bool structurally_equal(const ContractionForest& a,
+                        const ContractionForest& b) {
+  const std::size_t cap = std::max(a.capacity(), b.capacity());
+  for (VertexId v = 0; v < cap; ++v) {
+    const std::uint32_t da = v < a.capacity() ? a.duration(v) : 0;
+    const std::uint32_t db = v < b.capacity() ? b.duration(v) : 0;
+    if (da != db) return false;
+    for (std::uint32_t i = 0; i < da; ++i) {
+      const RoundRecord& ra = a.record(i, v);
+      const RoundRecord& rb = b.record(i, v);
+      if (ra.parent != rb.parent) return false;
+      if (sorted_children(ra) != sorted_children(rb)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parct::contract

@@ -1,0 +1,390 @@
+#include "contraction/dynamic_update.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "primitives/pack.hpp"
+#include "primitives/sort.hpp"
+
+namespace parct::contract {
+
+namespace {
+// Candidate-buffer width: a vertex plus its parent plus up to kMaxDegree
+// children.
+constexpr std::size_t kWidth = kMaxDegree + 2;
+}  // namespace
+
+DynamicUpdater::DynamicUpdater(ContractionForest& c) : c_(c) {
+  grow_scratch();
+}
+
+void DynamicUpdater::grow_scratch() {
+  const std::size_t cap = c_.capacity();
+  if (cap <= scratch_cap_) return;
+  // Epoch stamps need not survive growth: fresh zeroed arrays are "never
+  // claimed" since epochs start at 1.
+  claim_ = std::make_unique<std::atomic<std::uint64_t>[]>(cap);
+  for (std::size_t v = 0; v < cap; ++v) {
+    claim_[v].store(0, std::memory_order_relaxed);
+  }
+  mark_l_.assign(cap, 0);
+  mark_lx_.assign(cap, 0);
+  status_g_.assign(cap, 0);
+  old_leaf_.assign(cap, 0);
+  new_leaf_.assign(cap, 0);
+  scratch_cap_ = cap;
+}
+
+UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
+                                  EventHooks* hooks) {
+  UpdateStats stats;
+  if (m.empty()) return stats;
+
+  // --- capacity for fresh vertex ids ---------------------------------
+  std::size_t need = c_.capacity();
+  for (VertexId v : m.add_vertices) {
+    need = std::max<std::size_t>(need, static_cast<std::size_t>(v) + 1);
+  }
+  c_.ensure_capacity(need);
+  grow_scratch();
+  if (hooks) hooks->on_begin(c_.capacity());
+
+  lset_.clear();
+  xset_.clear();
+
+  // --- initial phase (paper Fig. 3, lines 2-18): O(m) work, low span. --
+  const std::uint64_t e_vminus = ++epoch_;
+  xset_.resize(m.remove_vertices.size());
+  par::parallel_for(0, m.remove_vertices.size(), [&](std::size_t k) {
+    const VertexId v = m.remove_vertices[k];
+    claim_[v].store(e_vminus, std::memory_order_relaxed);
+    xset_[k] = {v, 0};
+  });
+
+  // V+ vertices "were previously dead" (D[v] = 0) and start with fresh,
+  // isolated round-0 records. They also join L (claimed below with the
+  // endpoints; V+ ids are fresh so their claims always win).
+  const std::uint64_t e_l0 = ++epoch_;
+  par::parallel_for(0, m.add_vertices.size(), [&](std::size_t k) {
+    const VertexId v = m.add_vertices[k];
+    c_.set_duration(v, 0);
+    c_.ensure_round(v, 0);
+    c_.record_mut(0, v) = RoundRecord{v, 0, kEmptyChildren};
+  });
+
+  // U = endpoints of E- and E+; all of U \ V- joins L, as does V+.
+  // Claim-then-pack produces a duplicate-free L0; the same pass captures
+  // the pre-edit leaf statuses (for the leaf-change rule below).
+  const std::size_t num_edges = m.remove_edges.size() + m.add_edges.size();
+  auto edge_at = [&](std::size_t k) -> const Edge& {
+    return k < m.remove_edges.size()
+               ? m.remove_edges[k]
+               : m.add_edges[k - m.remove_edges.size()];
+  };
+  cand_.assign(m.add_vertices.size() + 2 * num_edges, kNoVertex);
+  par::parallel_for(0, m.add_vertices.size(), [&](std::size_t k) {
+    const VertexId v = m.add_vertices[k];
+    if (try_claim(v, e_l0)) cand_[k] = v;
+  });
+  par::parallel_for(0, num_edges, [&](std::size_t k) {
+    const Edge& e = edge_at(k);
+    VertexId* out = cand_.data() + m.add_vertices.size() + 2 * k;
+    for (int side = 0; side < 2; ++side) {
+      const VertexId v = side == 0 ? e.child : e.parent;
+      if (claimed(v, e_vminus)) continue;  // deleted: tracked via X
+      if (try_claim(v, e_l0)) {
+        out[side] = v;
+        if (c_.duration(v) > 0) {  // pre-existing: remember leaf status
+          old_leaf_[v] =
+              children_empty(c_.record(0, v).children) ? 1 : 0;
+        }
+      }
+    }
+  });
+  lset_ = prim::pack(cand_,
+                     [&](std::size_t k) { return cand_[k] != kNoVertex; });
+
+  // Apply the edits to round 0: deletions first (freeing slots), then
+  // insertions. Deletions touch disjoint (child, parent-slot) pairs and
+  // run fully in parallel; insertions are grouped by parent (stable sort)
+  // so each group assigns its parent's free slots sequentially.
+  par::parallel_for(0, m.remove_edges.size(), [&](std::size_t k) {
+    const Edge& e = m.remove_edges[k];
+    RoundRecord& rc = c_.record_mut(0, e.child);
+    assert(rc.parent == e.parent && "E- edge not present");
+    c_.record_mut(0, e.parent).children[rc.parent_slot] = kNoVertex;
+    rc.parent = e.child;
+    rc.parent_slot = 0;
+  });
+  {
+    std::vector<Edge> inserts = m.add_edges;
+    prim::parallel_sort(inserts, [](const Edge& a, const Edge& b) {
+      return a.parent < b.parent;
+    });
+    std::atomic<bool> overflow{false};
+    par::parallel_for(0, inserts.size(), [&](std::size_t k) {
+      if (k > 0 && inserts[k].parent == inserts[k - 1].parent) {
+        return;  // not a group head
+      }
+      RoundRecord& rp = c_.record_mut(0, inserts[k].parent);
+      for (std::size_t j = k;
+           j < inserts.size() && inserts[j].parent == inserts[k].parent;
+           ++j) {
+        const int slot = find_free_slot(rp.children, c_.degree_bound());
+        if (slot < 0) {
+          overflow.store(true, std::memory_order_relaxed);
+          return;
+        }
+        rp.children[slot] = inserts[j].child;
+        RoundRecord& rc = c_.record_mut(0, inserts[j].child);
+        rc.parent = inserts[j].parent;
+        rc.parent_slot = static_cast<std::uint8_t>(slot);
+      }
+    });
+    if (overflow.load()) {
+      throw std::runtime_error(
+          "ChangeSet insertion exceeds the degree bound");
+    }
+  }
+
+  // A leaf-status flip of an endpoint affects its (post-edit) parent.
+  cand_.assign(num_edges * 2, kNoVertex);
+  par::parallel_for(0, num_edges, [&](std::size_t k) {
+    const Edge& e = edge_at(k);
+    VertexId* out = cand_.data() + 2 * k;
+    for (int side = 0; side < 2; ++side) {
+      const VertexId v = side == 0 ? e.child : e.parent;
+      // Only the claim winner evaluated v's old status; everyone may read
+      // it now (claims finished at the barrier above), but only one writer
+      // per flipped parent wins the L claim.
+      if (claimed(v, e_vminus) || c_.duration(v) == 0) continue;
+      const bool now_leaf = children_empty(c_.record(0, v).children);
+      if (now_leaf == (old_leaf_[v] != 0)) continue;
+      const VertexId p = c_.record(0, v).parent;
+      if (p != v && try_claim(p, e_l0)) out[side] = p;
+    }
+  });
+  std::vector<VertexId> flipped = prim::pack(
+      cand_, [&](std::size_t k) { return cand_[k] != kNoVertex; });
+  lset_.insert(lset_.end(), flipped.begin(), flipped.end());
+
+  stats.initial_affected = lset_.size() + xset_.size();
+
+  // --- change propagation (paper Fig. 3, lines 19-21) ------------------
+  std::uint32_t i = 0;
+  while (!lset_.empty() || !xset_.empty()) {
+    propagate(i, hooks, stats);
+    ++i;
+  }
+  stats.rounds = i;
+  return stats;
+}
+
+void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
+                               UpdateStats& stats) {
+  c_.coins().ensure_rounds(i + 2);
+  const std::size_t nl_count = lset_.size();
+  stats.total_affected += nl_count + xset_.size();
+  stats.max_affected =
+      std::max<std::uint64_t>(stats.max_affected, nl_count + xset_.size());
+
+  // Phase A: mark L (and L-union-X), classify L's members in G, and record
+  // old (F) leaf statuses at round i+1 before anything rewrites them (the
+  // ell of LeafStatuses, paper Fig. 4 line 2).
+  epoch_l_ = ++epoch_;
+  epoch_lx_ = ++epoch_;
+  par::parallel_for(0, xset_.size(), [&](std::size_t k) {
+    mark_lx_[xset_[k].first] = epoch_lx_;
+  });
+  par::parallel_for(0, nl_count, [&](std::size_t k) {
+    const VertexId v = lset_[k];
+    mark_l_[v] = epoch_l_;
+    mark_lx_[v] = epoch_lx_;
+    const Kind kind = c_.classify(i, v);
+    status_g_[v] = static_cast<std::uint8_t>(kind);
+    if (kind == Kind::kSurvive && c_.duration(v) > i + 1) {
+      old_leaf_[v] =
+          children_empty(c_.record(i + 1, v).children) ? 1 : 0;
+    }
+  });
+
+  // Phase B: build NL = L plus all round-i neighbours in G (Fig. 4 line
+  // 3), claim-then-pack for a duplicate-free list.
+  epoch_nlx_ = ++epoch_;
+  cand_.assign(nl_count * kWidth, kNoVertex);
+  par::parallel_for(0, nl_count, [&](std::size_t k) {
+    const VertexId v = lset_[k];
+    VertexId* out = cand_.data() + k * kWidth;
+    if (try_claim(v, epoch_nlx_)) out[0] = v;
+    const RoundRecord& r = c_.record(i, v);
+    if (r.parent != v && try_claim(r.parent, epoch_nlx_)) out[1] = r.parent;
+    for (int s = 0; s < kMaxDegree; ++s) {
+      const VertexId u = r.children[s];
+      if (u != kNoVertex && try_claim(u, epoch_nlx_)) out[2 + s] = u;
+    }
+  });
+  std::vector<VertexId> nl = prim::pack(
+      cand_, [&](std::size_t k) { return cand_[k] != kNoVertex; });
+  stats.total_neighborhood += nl.size();
+
+  // Phase C: erase round-(i+1) edges incident on *affected* vertices
+  // (L union X; the paper's "delete all edges which are incident upon an
+  // affected vertex"). Edges between two unaffected vertices are identical
+  // in F and G (Lemma 1) and are kept — crucially, such an edge's creator
+  // (e.g. an unaffected compressing vertex) may lie outside NL and would
+  // never re-promote it. Members of L that survive in G but are already
+  // dead in F get a fresh blank record.
+  par::parallel_for(0, nl.size(), [&](std::size_t k) {
+    const VertexId v = nl[k];
+    if (c_.duration(v) > i + 1) {
+      RoundRecord& r = c_.record_mut(i + 1, v);
+      if (r.parent != v && (in_lx(r.parent) || in_lx(v))) {
+        r.parent = v;
+        r.parent_slot = 0;
+      }
+      for (int s = 0; s < kMaxDegree; ++s) {
+        if (r.children[s] != kNoVertex &&
+            (in_lx(r.children[s]) || in_lx(v))) {
+          r.children[s] = kNoVertex;
+        }
+      }
+    } else if (in_l(v) &&
+               static_cast<Kind>(status_g_[v]) == Kind::kSurvive) {
+      c_.ensure_round(v, i + 1);
+      c_.record_mut(i + 1, v) = RoundRecord{v, 0, kEmptyChildren};
+    }
+  });
+
+  // Phase D: re-promote edges for NL (PromoteEdges over the affected
+  // region and its fringe — the paper's "we also have to promote edges
+  // incident upon any neighbor of an affected vertex"). Unaffected NL
+  // members redo exactly what F did (Lemma 2), so their writes are
+  // idempotent re-executions.
+  par::parallel_for(0, nl.size(), [&](std::size_t k) {
+    const VertexId v = nl[k];
+    const Kind kind = kind_of(i, v);
+    const RoundRecord& r = c_.record(i, v);
+    switch (kind) {
+      case Kind::kSurvive: {
+        if (hooks) hooks->on_vertex_persist(i, v);
+        if (r.parent != v && survives(i, r.parent)) {
+          c_.record_mut(i + 1, r.parent).children[r.parent_slot] = v;
+          if (hooks) hooks->on_edge_persist(i, v, r.parent);
+        }
+        for (int s = 0; s < kMaxDegree; ++s) {
+          const VertexId u = r.children[s];
+          if (u == kNoVertex || !survives(i, u)) continue;
+          RoundRecord& ru = c_.record_mut(i + 1, u);
+          ru.parent = v;
+          ru.parent_slot = static_cast<std::uint8_t>(s);
+        }
+        break;
+      }
+      case Kind::kFinalize:
+        if (hooks) hooks->on_finalize(i, v);
+        break;
+      case Kind::kRake:
+        if (hooks) hooks->on_rake(i, v, r.parent);
+        break;
+      case Kind::kCompress: {
+        const VertexId u = only_child(r.children);
+        c_.record_mut(i + 1, r.parent).children[r.parent_slot] = u;
+        RoundRecord& ru = c_.record_mut(i + 1, u);
+        ru.parent = r.parent;
+        ru.parent_slot = r.parent_slot;
+        if (hooks) hooks->on_compress(i, v, u, r.parent);
+        break;
+      }
+    }
+  });
+
+  // Phase E: new (G) leaf statuses at round i+1 (the ell' of Fig. 4).
+  par::parallel_for(0, nl_count, [&](std::size_t k) {
+    const VertexId v = lset_[k];
+    if (static_cast<Kind>(status_g_[v]) == Kind::kSurvive &&
+        c_.duration(v) > i + 1) {
+      new_leaf_[v] =
+          children_empty(c_.record(i + 1, v).children) ? 1 : 0;
+    }
+  });
+
+  // Phase F: Spread (Fig. 4 lines 20-31): build the next round's L.
+  //  (a) a contracting member affects its round-i G-neighbours (which all
+  //      survive round i — rake/compress neighbours cannot contract
+  //      simultaneously);
+  //  (b) survivors stay affected;
+  //  (c) a survivor that dies in F exactly this round (D[v] = i+1) affects
+  //      its round-(i+1) G-neighbours;
+  //  (d) a survivor alive in both forests whose leaf status differs
+  //      affects its round-(i+1) parent.
+  const std::uint64_t e_next = ++epoch_;
+  cand_.assign(nl_count * kWidth, kNoVertex);
+  par::parallel_for(0, nl_count, [&](std::size_t k) {
+    const VertexId v = lset_[k];
+    VertexId* out = cand_.data() + k * kWidth;
+    if (static_cast<Kind>(status_g_[v]) == Kind::kSurvive) {
+      if (try_claim(v, e_next)) out[0] = v;  // (b)
+      const std::uint32_t dur_f = c_.duration(v);
+      if (dur_f == i + 1) {  // (c)
+        const RoundRecord& r1 = c_.record(i + 1, v);
+        if (r1.parent != v && try_claim(r1.parent, e_next)) {
+          out[1] = r1.parent;
+        }
+        for (int s = 0; s < kMaxDegree; ++s) {
+          const VertexId u = r1.children[s];
+          if (u != kNoVertex && try_claim(u, e_next)) out[2 + s] = u;
+        }
+      } else if (dur_f > i + 1 && new_leaf_[v] != old_leaf_[v]) {  // (d)
+        const VertexId p = c_.record(i + 1, v).parent;
+        if (p != v && try_claim(p, e_next)) out[1] = p;
+      }
+    } else {  // (a)
+      const RoundRecord& r = c_.record(i, v);
+      if (r.parent != v && try_claim(r.parent, e_next)) out[1] = r.parent;
+      for (int s = 0; s < kMaxDegree; ++s) {
+        const VertexId u = r.children[s];
+        if (u != kNoVertex && try_claim(u, e_next)) out[2 + s] = u;
+      }
+    }
+  });
+  std::vector<VertexId> next_l = prim::pack(
+      cand_, [&](std::size_t k) { return cand_[k] != kNoVertex; });
+
+  // Phase G: X bookkeeping (Fig. 3 line 18, Fig. 4 lines on X): members of
+  // L that contract in G but are still alive in F join X with their G
+  // death round; vertices now dead in both forests get their final
+  // durations. Sequential: O(|L| + |X|).
+  std::vector<std::pair<VertexId, std::uint32_t>> next_x;
+  next_x.reserve(xset_.size());
+  for (const auto& [v, j] : xset_) {
+    if (c_.duration(v) > i + 1) {
+      next_x.push_back({v, j});
+    } else {
+      c_.set_duration(v, j);
+      c_.truncate_to_duration(v);
+    }
+  }
+  for (std::size_t k = 0; k < nl_count; ++k) {
+    const VertexId v = lset_[k];
+    if (static_cast<Kind>(status_g_[v]) == Kind::kSurvive) continue;
+    if (c_.duration(v) > i + 1) {
+      next_x.push_back({v, i + 1});
+    } else {
+      c_.set_duration(v, i + 1);
+      c_.truncate_to_duration(v);
+    }
+  }
+
+  lset_ = std::move(next_l);
+  xset_ = std::move(next_x);
+}
+
+UpdateStats modify_contraction(ContractionForest& c,
+                               const forest::ChangeSet& m,
+                               EventHooks* hooks) {
+  DynamicUpdater updater(c);
+  return updater.apply(m, hooks);
+}
+
+}  // namespace parct::contract

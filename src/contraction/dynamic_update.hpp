@@ -1,0 +1,111 @@
+// The dynamic update algorithm (paper §2.5, Figs. 3-4): change propagation
+// over the contraction data structure. Applying a batch
+// ((V-, E-), (V+, E+)) leaves the structure exactly as if the construction
+// algorithm had been re-run from scratch on the edited forest with the same
+// coin schedule — but does only O(m log((n+m)/m)) expected work (Thm. 2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "contraction/contraction_forest.hpp"
+#include "contraction/hooks.hpp"
+#include "forest/change_set.hpp"
+
+namespace parct::contract {
+
+struct UpdateStats {
+  /// Rounds of change propagation executed.
+  std::uint32_t rounds = 0;
+  /// |A^0| (paper Lemma 7 bounds this by 3m).
+  std::uint64_t initial_affected = 0;
+  /// Sum over rounds of |A^i| = |L| + |X| — the algorithm's work measure
+  /// (Theorem 2: O(m log((n+m)/m)) in expectation).
+  std::uint64_t total_affected = 0;
+  /// max over rounds of |A^i| (paper Lemma 10: O(m) in expectation).
+  std::uint64_t max_affected = 0;
+  /// Sum over rounds of |NL| (affected vertices plus their neighbours).
+  std::uint64_t total_neighborhood = 0;
+};
+
+/// Applies batches of changes to a ContractionForest in place. Holds O(n)
+/// scratch so that individual updates cost work proportional to the
+/// affected region only — construct one updater per structure and reuse it
+/// (the paper's implementation preallocates all memory, §4).
+class DynamicUpdater {
+ public:
+  explicit DynamicUpdater(ContractionForest& c);
+
+  DynamicUpdater(const DynamicUpdater&) = delete;
+  DynamicUpdater& operator=(const DynamicUpdater&) = delete;
+
+  /// ModifyContraction (paper Fig. 3). Preconditions as in the paper: V-
+  /// present, V+ fresh, E- existing edges, E+ new edges between
+  /// present-after-edit vertices, every edge incident to V- listed in E-,
+  /// and the edited graph is a bounded-degree forest (use
+  /// forest::check_change_set to verify). Not thread-safe with respect to
+  /// concurrent reads of the structure.
+  UpdateStats apply(const forest::ChangeSet& m, EventHooks* hooks = nullptr);
+
+  ContractionForest& structure() { return c_; }
+
+ private:
+  void grow_scratch();
+  /// One round of Propagate (paper Fig. 4); consumes lset_/xset_ and
+  /// replaces them with the next round's sets.
+  void propagate(std::uint32_t i, EventHooks* hooks, UpdateStats& stats);
+
+  bool try_claim(VertexId v, std::uint64_t epoch) {
+    std::uint64_t old = claim_[v].load(std::memory_order_relaxed);
+    if (old == epoch) return false;
+    return claim_[v].compare_exchange_strong(old, epoch,
+                                             std::memory_order_relaxed);
+  }
+  bool claimed(VertexId v, std::uint64_t epoch) const {
+    return claim_[v].load(std::memory_order_relaxed) == epoch;
+  }
+
+  bool in_l(VertexId v) const { return mark_l_[v] == epoch_l_; }
+  /// v affected this round (in L or X) — the membership test of the erase
+  /// phase: only edges incident on *affected* vertices are deleted; edges
+  /// between unaffected vertices are identical in both forests (Lemma 1)
+  /// and must be kept, since their (possibly unaffected, outside-NL)
+  /// creators do not re-promote them.
+  bool in_lx(VertexId v) const { return mark_lx_[v] == epoch_lx_; }
+  /// Contraction kind in the *new* forest this round; valid for any vertex
+  /// alive in G at round i.
+  Kind kind_of(std::uint32_t i, VertexId v) const {
+    return in_l(v) ? static_cast<Kind>(status_g_[v]) : c_.classify(i, v);
+  }
+  bool survives(std::uint32_t i, VertexId v) const {
+    return kind_of(i, v) == Kind::kSurvive;
+  }
+
+  ContractionForest& c_;
+  std::size_t scratch_cap_ = 0;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> claim_;  // epoch stamps
+  std::vector<std::uint64_t> mark_l_;                    // v in current L?
+  std::vector<std::uint64_t> mark_lx_;                   // v in L or X?
+  std::vector<std::uint8_t> status_g_;   // Kind of L members this round
+  std::vector<std::uint8_t> old_leaf_;   // leaf status in F at round i+1
+  std::vector<std::uint8_t> new_leaf_;   // leaf status in G at round i+1
+  std::uint64_t epoch_ = 0;
+  std::uint64_t epoch_l_ = 0;
+  std::uint64_t epoch_lx_ = 0;
+  std::uint64_t epoch_nlx_ = 0;
+
+  std::vector<VertexId> lset_;  // affected, alive in G this round
+  std::vector<std::pair<VertexId, std::uint32_t>> xset_;  // (v, G-death)
+  std::vector<VertexId> cand_;  // claim-then-pack candidate buffer
+};
+
+/// One-shot convenience wrapper (allocates O(n) scratch per call; prefer a
+/// long-lived DynamicUpdater in performance-sensitive code).
+UpdateStats modify_contraction(ContractionForest& c,
+                               const forest::ChangeSet& m,
+                               EventHooks* hooks = nullptr);
+
+}  // namespace parct::contract

@@ -1,0 +1,36 @@
+// Per-round per-vertex record of the contraction data structure (paper
+// §2.3): the parent pointer P[i][v] (with its child-array slot, §2.6) and
+// the slotted children set C[i][v].
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/types.hpp"
+
+namespace parct::contract {
+
+struct RoundRecord {
+  VertexId parent = kNoVertex;  // == the vertex itself for roots
+  std::uint8_t parent_slot = 0; // slot this vertex owns in parent's array
+  ChildArray children = kEmptyChildren;
+};
+
+/// The paper's "map from vertices to lists of length D[v]" (§4): round i's
+/// record for v sits at rounds[i]; `duration` is D[v] — the number of
+/// rounds the vertex stays alive (0 = absent). Entries at indices >=
+/// duration may exist but are meaningless.
+struct VertexHistory {
+  std::uint32_t duration = 0;
+  std::vector<RoundRecord> rounds;
+};
+
+/// Contraction kind of a vertex in a given round (paper Fig. 2).
+enum class Kind : std::uint8_t {
+  kSurvive = 0,
+  kFinalize,  // isolated root
+  kRake,      // non-root leaf
+  kCompress,  // unary, non-leaf child, lost the coin-flip race
+};
+
+}  // namespace parct::contract

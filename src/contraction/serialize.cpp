@@ -1,0 +1,84 @@
+#include "contraction/serialize.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace parct::contract {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x50415243'54434631ull;  // "PARCTCF1"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("parct::load: truncated stream");
+  return value;
+}
+
+}  // namespace
+
+void save(const ContractionForest& c, std::ostream& out) {
+  put(out, kMagic);
+  put(out, kVersion);
+  put(out, static_cast<std::uint64_t>(c.capacity()));
+  put(out, static_cast<std::uint32_t>(c.degree_bound()));
+  put(out, c.seed());
+  for (VertexId v = 0; v < c.capacity(); ++v) {
+    const std::uint32_t d = c.duration(v);
+    put(out, d);
+    for (std::uint32_t i = 0; i < d; ++i) {
+      const RoundRecord& r = c.record(i, v);
+      put(out, r.parent);
+      put(out, r.parent_slot);
+      for (VertexId u : r.children) put(out, u);
+    }
+  }
+}
+
+ContractionForest load(std::istream& in) {
+  if (get<std::uint64_t>(in) != kMagic) {
+    throw std::runtime_error("parct::load: bad magic");
+  }
+  if (get<std::uint32_t>(in) != kVersion) {
+    throw std::runtime_error("parct::load: unsupported version");
+  }
+  const std::uint64_t capacity = get<std::uint64_t>(in);
+  const std::uint32_t degree_bound = get<std::uint32_t>(in);
+  const std::uint64_t seed = get<std::uint64_t>(in);
+  if (degree_bound < 1 || degree_bound > kMaxDegree) {
+    throw std::runtime_error("parct::load: bad degree bound");
+  }
+
+  ContractionForest c(capacity, static_cast<int>(degree_bound), seed);
+  std::uint32_t max_rounds = 0;
+  for (VertexId v = 0; v < capacity; ++v) {
+    const std::uint32_t d = get<std::uint32_t>(in);
+    c.set_duration(v, d);
+    if (d > 0) c.ensure_round(v, d - 1);
+    max_rounds = std::max(max_rounds, d);
+    for (std::uint32_t i = 0; i < d; ++i) {
+      RoundRecord& r = c.record_mut(i, v);
+      r.parent = get<VertexId>(in);
+      r.parent_slot = get<std::uint8_t>(in);
+      for (int s = 0; s < kMaxDegree; ++s) {
+        r.children[s] = get<VertexId>(in);
+      }
+    }
+  }
+  // Re-derive the coin schedule far enough for the recorded rounds (and
+  // one extra, like the algorithms keep).
+  c.coins().ensure_rounds(max_rounds + 1);
+  return c;
+}
+
+}  // namespace parct::contract

@@ -1,0 +1,20 @@
+// Binary (de)serialization of contraction data structures. The coin
+// schedule is a pure function of its master seed, so only the seed is
+// stored; a loaded structure supports dynamic updates exactly like the
+// original (identical future coin flips).
+#pragma once
+
+#include <iosfwd>
+
+#include "contraction/contraction_forest.hpp"
+
+namespace parct::contract {
+
+/// Writes `c` to `out` in the parct binary format (little-endian hosts).
+void save(const ContractionForest& c, std::ostream& out);
+
+/// Reads a structure written by `save`. Throws std::runtime_error on a
+/// malformed stream.
+ContractionForest load(std::istream& in);
+
+}  // namespace parct::contract

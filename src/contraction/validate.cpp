@@ -1,0 +1,129 @@
+#include "contraction/validate.hpp"
+
+#include <map>
+#include <set>
+
+namespace parct::contract {
+
+namespace {
+
+// Deliberately naive forest state: ordered maps/sets, sequential loops.
+// This code shares nothing with the optimized algorithms beyond the coin
+// schedule, so agreement is meaningful evidence of correctness.
+struct SimForest {
+  std::map<VertexId, VertexId> parent;        // self for roots
+  std::map<VertexId, std::set<VertexId>> children;
+
+  bool alive(VertexId v) const { return parent.count(v) != 0; }
+};
+
+enum class SimKind { kSurvive, kFinalize, kRake, kCompress };
+
+SimKind sim_classify(const SimForest& f, const hashing::CoinSchedule& coins,
+                     std::uint32_t i, VertexId v) {
+  const VertexId p = f.parent.at(v);
+  const auto& kids = f.children.at(v);
+  if (kids.empty()) return p == v ? SimKind::kFinalize : SimKind::kRake;
+  if (kids.size() == 1) {
+    const VertexId u = *kids.begin();
+    if (!f.children.at(u).empty() && !coins.heads(i, p) &&
+        coins.heads(i, v)) {
+      return SimKind::kCompress;
+    }
+  }
+  return SimKind::kSurvive;
+}
+
+SimForest sim_round(const SimForest& f, const hashing::CoinSchedule& coins,
+                    std::uint32_t i) {
+  SimForest next;
+  std::map<VertexId, SimKind> kind;
+  for (const auto& [v, p] : f.parent) kind[v] = sim_classify(f, coins, i, v);
+  for (const auto& [v, k] : kind) {
+    if (k == SimKind::kSurvive) {
+      next.parent[v] = v;  // provisional; overwritten below if non-root
+      next.children[v];
+    }
+  }
+  for (const auto& [v, k] : kind) {
+    const VertexId p = f.parent.at(v);
+    if (k == SimKind::kSurvive) {
+      if (p != v && kind.at(p) == SimKind::kSurvive) {
+        next.parent[v] = p;
+        next.children[p].insert(v);
+      }
+    } else if (k == SimKind::kCompress) {
+      const VertexId u = *f.children.at(v).begin();
+      next.parent[u] = p;
+      next.children[p].insert(u);
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
+std::optional<std::string> check_valid(const ContractionForest& c,
+                                       const forest::Forest& f) {
+  using std::to_string;
+  SimForest cur;
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (!f.present(v)) continue;
+    cur.parent[v] = f.parent(v);
+    auto& kids = cur.children[v];
+    for (VertexId u : f.children(v)) {
+      if (u != kNoVertex) kids.insert(u);
+    }
+  }
+  // Absent vertices must have duration 0.
+  for (VertexId v = 0; v < c.capacity(); ++v) {
+    const bool present = v < f.capacity() && f.present(v);
+    if (!present && c.duration(v) != 0) {
+      return "absent vertex " + to_string(v) + " has nonzero duration";
+    }
+  }
+
+  std::uint32_t i = 0;
+  while (!cur.parent.empty()) {
+    if (i >= c.coins().available_rounds()) {
+      return "simulation needs more rounds than the coin schedule holds "
+             "(structure likely records wrong durations)";
+    }
+    // Compare round i of `c` with the simulated forest.
+    for (const auto& [v, p] : cur.parent) {
+      if (c.duration(v) <= i) {
+        return "vertex " + to_string(v) + " has duration " +
+               to_string(c.duration(v)) + " but is alive at round " +
+               to_string(i);
+      }
+      const RoundRecord& r = c.record(i, v);
+      if (r.parent != p) {
+        return "P[" + to_string(i) + "][" + to_string(v) + "] = " +
+               to_string(r.parent) + ", expected " + to_string(p);
+      }
+      std::set<VertexId> rec_children;
+      for (VertexId u : r.children) {
+        if (u != kNoVertex) rec_children.insert(u);
+      }
+      if (rec_children != cur.children.at(v)) {
+        return "C[" + to_string(i) + "][" + to_string(v) + "] mismatch";
+      }
+    }
+    // Vertices dead in simulation must be dead in `c` too (duration <= i):
+    // checked lazily via the counting below.
+    SimForest next = sim_round(cur, c.coins(), i);
+    for (const auto& [v, p] : cur.parent) {
+      const bool sim_alive_next = next.alive(v);
+      const bool c_alive_next = c.duration(v) > i + 1;
+      if (sim_alive_next != c_alive_next) {
+        return "duration of vertex " + to_string(v) +
+               " disagrees at round " + to_string(i + 1);
+      }
+    }
+    cur = std::move(next);
+    ++i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace parct::contract

@@ -1,0 +1,22 @@
+// Independent validity checking of contraction data structures (paper
+// §2.3's definition of "valid for a forest F"): re-simulates Miller-Reif
+// contraction of F with the structure's own coin schedule using a simple,
+// obviously-correct sequential implementation, and compares every round.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "contraction/contraction_forest.hpp"
+#include "forest/forest.hpp"
+
+namespace parct::contract {
+
+/// Returns an error description if `c` is not valid for `f` (i.e. if any
+/// duration is wrong or any per-round parent/children disagree with a
+/// from-scratch sequential contraction of `f` under c.coins()), else
+/// nullopt. O(n log n)-ish; intended for tests.
+std::optional<std::string> check_valid(const ContractionForest& c,
+                                       const forest::Forest& f);
+
+}  // namespace parct::contract

@@ -1,0 +1,60 @@
+// ChangeSet: a batch of modifications ((V-, E-), (V+, E+)) as in the
+// paper's ModifyContraction (§2.5): delete vertices V- and edges E-, then
+// add vertices V+ and edges E+.
+//
+// Preconditions (paper §2.5): V- ⊆ V, V+ ∩ V = ∅, E- ⊆ E, E+ new edges, and
+// the edited graph is again a bounded-degree forest. Every edge incident to
+// a vertex of V- must appear in E-.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "forest/forest.hpp"
+#include "forest/types.hpp"
+
+namespace parct::forest {
+
+struct ChangeSet {
+  std::vector<VertexId> remove_vertices;  // V-
+  std::vector<Edge> remove_edges;         // E-
+  std::vector<VertexId> add_vertices;     // V+
+  std::vector<Edge> add_edges;            // E+
+
+  std::size_t size() const {
+    return remove_vertices.size() + remove_edges.size() +
+           add_vertices.size() + add_edges.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  /// Fluent builders, handy in tests and examples.
+  ChangeSet& del_edge(VertexId child, VertexId parent) {
+    remove_edges.push_back({child, parent});
+    return *this;
+  }
+  ChangeSet& ins_edge(VertexId child, VertexId parent) {
+    add_edges.push_back({child, parent});
+    return *this;
+  }
+  ChangeSet& del_vertex(VertexId v) {
+    remove_vertices.push_back(v);
+    return *this;
+  }
+  ChangeSet& ins_vertex(VertexId v) {
+    add_vertices.push_back(v);
+    return *this;
+  }
+};
+
+/// Checks all ChangeSet preconditions against `f`, including that applying
+/// the batch yields an acyclic bounded-degree forest. Returns an error
+/// description, or nullopt if valid.
+std::optional<std::string> check_change_set(const Forest& f,
+                                            const ChangeSet& m);
+
+/// Applies `m` to a copy of `f` and returns the edited forest. Asserts the
+/// preconditions in debug builds (use check_change_set for full checking).
+Forest apply_change_set(const Forest& f, const ChangeSet& m);
+
+}  // namespace parct::forest

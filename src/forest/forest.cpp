@@ -1,0 +1,105 @@
+#include "forest/forest.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace parct::forest {
+
+Forest::Forest(std::size_t capacity, int degree_bound, std::size_t n_present)
+    : degree_bound_(degree_bound),
+      present_(capacity, 0),
+      parent_(capacity, kNoVertex),
+      parent_slot_(capacity, 0),
+      children_(capacity, kEmptyChildren) {
+  if (degree_bound < 1 || degree_bound > kMaxDegree) {
+    throw std::invalid_argument("degree_bound must be in [1, kMaxDegree]");
+  }
+  if (n_present == SIZE_MAX) n_present = capacity;
+  if (n_present > capacity) {
+    throw std::invalid_argument("n_present exceeds capacity");
+  }
+  for (std::size_t v = 0; v < n_present; ++v) {
+    present_[v] = 1;
+    parent_[v] = static_cast<VertexId>(v);
+  }
+  num_present_ = n_present;
+}
+
+void Forest::add_vertex(VertexId v) {
+  assert(v < capacity() && !present(v));
+  present_[v] = 1;
+  parent_[v] = v;
+  parent_slot_[v] = 0;
+  children_[v] = kEmptyChildren;
+  ++num_present_;
+}
+
+void Forest::remove_vertex(VertexId v) {
+  assert(present(v) && is_isolated(v));
+  present_[v] = 0;
+  parent_[v] = kNoVertex;
+  --num_present_;
+}
+
+void Forest::link(VertexId child, VertexId parent) {
+  assert(present(child) && present(parent) && child != parent);
+  assert(is_root(child) && "link requires the child to be a root");
+  const int slot = find_free_slot(children_[parent], degree_bound_);
+  if (slot < 0) {
+    throw std::runtime_error("Forest::link: parent has no free child slot");
+  }
+  children_[parent][slot] = child;
+  parent_[child] = parent;
+  parent_slot_[child] = static_cast<std::uint8_t>(slot);
+  ++num_edges_;
+}
+
+void Forest::cut(VertexId child) {
+  assert(present(child) && !is_root(child));
+  const VertexId p = parent_[child];
+  assert(children_[p][parent_slot_[child]] == child);
+  children_[p][parent_slot_[child]] = kNoVertex;
+  parent_[child] = child;
+  parent_slot_[child] = 0;
+  --num_edges_;
+}
+
+std::vector<Edge> Forest::edges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges_);
+  for (VertexId v = 0; v < capacity(); ++v) {
+    if (present(v) && !is_root(v)) out.push_back({v, parent_[v]});
+  }
+  return out;
+}
+
+std::vector<VertexId> Forest::vertices() const {
+  std::vector<VertexId> out;
+  out.reserve(num_present_);
+  for (VertexId v = 0; v < capacity(); ++v) {
+    if (present(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> Forest::roots() const {
+  std::vector<VertexId> out;
+  for (VertexId v = 0; v < capacity(); ++v) {
+    if (present(v) && is_root(v)) out.push_back(v);
+  }
+  return out;
+}
+
+bool operator==(const Forest& a, const Forest& b) {
+  if (a.capacity() != b.capacity() || a.num_present_ != b.num_present_ ||
+      a.num_edges_ != b.num_edges_) {
+    return false;
+  }
+  for (VertexId v = 0; v < a.capacity(); ++v) {
+    if (a.present(v) != b.present(v)) return false;
+    if (a.present(v) && a.parent_[v] != b.parent_[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace parct::forest

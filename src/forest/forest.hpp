@@ -1,0 +1,75 @@
+// Mutable bounded-degree rooted forest over a fixed vertex universe.
+//
+// This is the algorithms' input representation (paper §2.2): directed edges
+// point child -> parent; every vertex has at most `degree_bound` children,
+// stored in a fixed slotted array so that "insert child" is a write to a
+// free slot and each child records which slot of its parent it owns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "forest/types.hpp"
+
+namespace parct::forest {
+
+class Forest {
+ public:
+  /// Universe of `capacity` vertex ids; initially all `n_present` lowest ids
+  /// are present and isolated.
+  explicit Forest(std::size_t capacity, int degree_bound = 4,
+                  std::size_t n_present = SIZE_MAX);
+
+  std::size_t capacity() const { return parent_.size(); }
+  int degree_bound() const { return degree_bound_; }
+  std::size_t num_present() const { return num_present_; }
+  std::size_t num_edges() const { return num_edges_; }
+
+  bool present(VertexId v) const { return present_[v] != 0; }
+  bool is_root(VertexId v) const { return parent_[v] == v; }
+
+  /// Parent of v (== v for roots).
+  VertexId parent(VertexId v) const { return parent_[v]; }
+  /// Slot of v in its parent's child array (meaningless for roots).
+  int parent_slot(VertexId v) const { return parent_slot_[v]; }
+  const ChildArray& children(VertexId v) const { return children_[v]; }
+  int degree(VertexId v) const { return child_count(children_[v]); }
+  bool is_leaf(VertexId v) const { return children_empty(children_[v]); }
+  bool is_isolated(VertexId v) const { return is_root(v) && is_leaf(v); }
+
+  /// Makes an absent vertex present (isolated).
+  void add_vertex(VertexId v);
+  /// Removes a present, isolated vertex.
+  void remove_vertex(VertexId v);
+
+  /// Adds edge child -> parent. `child` must currently be a root; `parent`
+  /// must have a free child slot. Does NOT check acyclicity (callers that
+  /// need it use validation.hpp).
+  void link(VertexId child, VertexId parent);
+  /// Removes child's parent edge; `child` must not be a root.
+  void cut(VertexId child);
+
+  bool has_edge(VertexId child, VertexId parent) const {
+    return present(child) && parent_[child] == parent && child != parent;
+  }
+
+  /// All edges, ordered by child id.
+  std::vector<Edge> edges() const;
+  /// All present vertex ids, increasing.
+  std::vector<VertexId> vertices() const;
+  /// All present roots, increasing.
+  std::vector<VertexId> roots() const;
+
+  friend bool operator==(const Forest& a, const Forest& b);
+
+ private:
+  int degree_bound_;
+  std::size_t num_present_ = 0;
+  std::size_t num_edges_ = 0;
+  std::vector<std::uint8_t> present_;
+  std::vector<VertexId> parent_;
+  std::vector<std::uint8_t> parent_slot_;
+  std::vector<ChildArray> children_;
+};
+
+}  // namespace parct::forest

@@ -1,0 +1,143 @@
+#include "forest/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "forest/tree_builder.hpp"
+#include "hashing/splitmix64.hpp"
+
+namespace parct::forest {
+
+Forest random_forest(std::size_t n, std::size_t num_trees, int t,
+                     double chain_factor, std::uint64_t seed) {
+  if (num_trees == 0 || n < 2 * num_trees) {
+    throw std::invalid_argument("random_forest: need n >= 2 * num_trees");
+  }
+  Forest f(n, t, n);
+  hashing::SplitMix64 rng(seed);
+  // Partition [0, n) into num_trees contiguous ranges and build a
+  // chain-factor tree inside each.
+  const std::size_t base = n / num_trees;
+  std::size_t lo = 0;
+  for (std::size_t k = 0; k < num_trees; ++k) {
+    const std::size_t size = (k + 1 == num_trees) ? n - lo : base;
+    Forest sub = build_tree(size, t, chain_factor, rng.next());
+    for (const Edge& e : sub.edges()) {
+      f.link(static_cast<VertexId>(lo + e.child),
+             static_cast<VertexId>(lo + e.parent));
+    }
+    lo += size;
+  }
+  return f;
+}
+
+std::vector<Edge> select_random_edges(const Forest& f, std::size_t k,
+                                      std::uint64_t seed) {
+  if (k > f.num_edges()) {
+    throw std::invalid_argument("select_random_edges: k exceeds edge count");
+  }
+  // Edges <-> non-root present vertices (the child endpoint).
+  std::vector<VertexId> children;
+  children.reserve(f.num_edges());
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (f.present(v) && !f.is_root(v)) children.push_back(v);
+  }
+  // Partial Fisher-Yates for k distinct picks.
+  hashing::SplitMix64 rng(seed);
+  std::vector<Edge> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + rng.next_below(children.size() - i);
+    std::swap(children[i], children[j]);
+    out.push_back({children[i], f.parent(children[i])});
+  }
+  return out;
+}
+
+ChangeSet make_delete_batch(const Forest& f, std::size_t k,
+                            std::uint64_t seed) {
+  ChangeSet m;
+  m.remove_edges = select_random_edges(f, k, seed);
+  return m;
+}
+
+std::pair<Forest, ChangeSet> make_insert_batch(const Forest& full,
+                                               std::size_t k,
+                                               std::uint64_t seed) {
+  ChangeSet m;
+  m.add_edges = select_random_edges(full, k, seed);
+  Forest initial = full;
+  for (const Edge& e : m.add_edges) initial.cut(e.child);
+  return {std::move(initial), std::move(m)};
+}
+
+std::pair<Forest, ChangeSet> make_mixed_batch(const Forest& full,
+                                              std::size_t k_ins,
+                                              std::size_t k_del,
+                                              std::uint64_t seed) {
+  if (k_ins + k_del > full.num_edges()) {
+    throw std::invalid_argument("make_mixed_batch: batch exceeds edge count");
+  }
+  // One distinct draw of k_ins + k_del edges: the first k_ins are cut
+  // upfront and re-inserted by the batch, the rest are deleted by it.
+  std::vector<Edge> picked =
+      select_random_edges(full, k_ins + k_del, seed);
+  ChangeSet m;
+  m.add_edges.assign(picked.begin(), picked.begin() + k_ins);
+  m.remove_edges.assign(picked.begin() + k_ins, picked.end());
+  Forest initial = full;
+  for (const Edge& e : m.add_edges) initial.cut(e.child);
+  return {std::move(initial), std::move(m)};
+}
+
+ChangeSet make_vertex_batch(const Forest& f, std::size_t k_add,
+                            std::size_t k_del, std::uint64_t seed) {
+  hashing::SplitMix64 rng(seed);
+  ChangeSet m;
+
+  // Delete k_del random leaves together with their parent edges.
+  std::vector<VertexId> leaves;
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (f.present(v) && f.is_leaf(v) && !f.is_root(v)) leaves.push_back(v);
+  }
+  if (k_del > leaves.size()) {
+    throw std::invalid_argument("make_vertex_batch: not enough leaves");
+  }
+  for (std::size_t i = 0; i < k_del; ++i) {
+    const std::size_t j = i + rng.next_below(leaves.size() - i);
+    std::swap(leaves[i], leaves[j]);
+    m.del_vertex(leaves[i]).del_edge(leaves[i], f.parent(leaves[i]));
+  }
+  std::unordered_set<VertexId> deleted(m.remove_vertices.begin(),
+                                       m.remove_vertices.end());
+
+  // Attach k_add new vertices (fresh ids above the present maximum) as
+  // leaves under random parents that keep a free slot.
+  VertexId next_id = 0;
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (f.present(v)) next_id = v + 1;
+  }
+  if (static_cast<std::size_t>(next_id) + k_add > f.capacity()) {
+    throw std::invalid_argument("make_vertex_batch: no spare capacity");
+  }
+  std::vector<int> extra_load(f.capacity(), 0);
+  for (std::size_t i = 0; i < k_add; ++i) {
+    const VertexId w = next_id++;
+    for (int attempts = 0; ; ++attempts) {
+      if (attempts > 1 << 20) {
+        throw std::runtime_error("make_vertex_batch: no parent slot found");
+      }
+      const VertexId p =
+          static_cast<VertexId>(rng.next_below(f.capacity()));
+      if (!f.present(p) || deleted.count(p)) continue;
+      if (f.degree(p) + extra_load[p] >= f.degree_bound()) continue;
+      ++extra_load[p];
+      m.ins_vertex(w).ins_edge(w, p);
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace parct::forest

@@ -1,0 +1,49 @@
+// Workload generators for the dynamic-update experiments (paper §4,
+// "Dynamic-Update Algorithm"): random batches of edge insertions/deletions
+// and vertex additions/removals that keep the input a valid forest.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "forest/change_set.hpp"
+#include "forest/forest.hpp"
+
+namespace parct::forest {
+
+/// Forest of `num_trees` independent chain-factor trees over one universe.
+Forest random_forest(std::size_t n, std::size_t num_trees, int t,
+                     double chain_factor, std::uint64_t seed);
+
+/// k distinct random edges of `f` (children chosen uniformly among
+/// non-root present vertices). k must not exceed the number of edges.
+std::vector<Edge> select_random_edges(const Forest& f, std::size_t k,
+                                      std::uint64_t seed);
+
+/// Batch-delete test workload: E- = k random edges of `f`.
+ChangeSet make_delete_batch(const Forest& f, std::size_t k,
+                            std::uint64_t seed);
+
+/// Batch-insert test workload (paper: "choose k random edges E' and insert
+/// them"). Cuts k random edges out of `full`, returning the reduced initial
+/// forest and the ChangeSet that re-inserts them.
+std::pair<Forest, ChangeSet> make_insert_batch(const Forest& full,
+                                               std::size_t k,
+                                               std::uint64_t seed);
+
+/// Mixed batch: deletes k_del random edges and re-inserts k_ins edges that
+/// were cut from `full` beforehand.
+std::pair<Forest, ChangeSet> make_mixed_batch(const Forest& full,
+                                              std::size_t k_ins,
+                                              std::size_t k_del,
+                                              std::uint64_t seed);
+
+/// Vertex-churn batch: removes k_del random leaves (vertex + its parent
+/// edge) and attaches k_add brand-new leaf vertices (ids above the current
+/// maximum; the forest must have spare capacity) at random parents with a
+/// free child slot.
+ChangeSet make_vertex_batch(const Forest& f, std::size_t k_add,
+                            std::size_t k_del, std::uint64_t seed);
+
+}  // namespace parct::forest

@@ -1,0 +1,69 @@
+#include "forest/tree_builder.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "hashing/splitmix64.hpp"
+
+namespace parct::forest {
+
+Forest build_balanced(std::size_t n, int t, std::size_t extra_capacity) {
+  Forest f(n + extra_capacity, t, n);
+  // Vertex i's parent is (i-1)/t: level order, so all but possibly one
+  // internal node has exactly t children.
+  for (VertexId v = 1; v < n; ++v) {
+    f.link(v, static_cast<VertexId>((v - 1) / static_cast<std::size_t>(t)));
+  }
+  return f;
+}
+
+Forest build_chain(std::size_t n, std::size_t extra_capacity) {
+  Forest f(n + extra_capacity, 4, n);
+  for (VertexId v = 1; v < n; ++v) f.link(v, v - 1);
+  return f;
+}
+
+Forest build_perfect_binary(std::size_t n, std::size_t extra_capacity) {
+  if (((n + 1) & n) != 0 || n == 0) {
+    throw std::invalid_argument(
+        "perfect binary tree needs n = 2^k - 1 vertices");
+  }
+  Forest f(n + extra_capacity, 2, n);
+  for (VertexId v = 1; v < n; ++v) f.link(v, (v - 1) / 2);
+  return f;
+}
+
+Forest build_tree(std::size_t n, int t, double chain_factor,
+                  std::uint64_t seed, std::size_t extra_capacity) {
+  if (n < 2) throw std::invalid_argument("build_tree needs n >= 2");
+  if (chain_factor < 0.0 || chain_factor > 1.0) {
+    throw std::invalid_argument("chain_factor must be in [0, 1]");
+  }
+  const std::size_t split_target =
+      static_cast<std::size_t>(std::ceil(static_cast<double>(n) *
+                                         chain_factor));
+  const std::size_t r = std::max<std::size_t>(
+      n >= split_target ? n - split_target : 0, 2);
+
+  Forest f(n + extra_capacity, t, n);
+  for (VertexId v = 1; v < r; ++v) {
+    f.link(v, static_cast<VertexId>((v - 1) / static_cast<std::size_t>(t)));
+  }
+
+  // Phase 2: each new vertex w splits a uniformly random existing edge.
+  // Edges are in bijection with non-root vertices, so picking a random
+  // vertex in [1, current) picks a random edge (that vertex's parent edge).
+  hashing::SplitMix64 rng(seed);
+  for (std::size_t w = r; w < n; ++w) {
+    const VertexId u =
+        static_cast<VertexId>(1 + rng.next_below(w - 1));  // child endpoint
+    const VertexId v = f.parent(u);
+    f.cut(u);
+    f.link(static_cast<VertexId>(w), v);
+    f.link(u, static_cast<VertexId>(w));
+  }
+  return f;
+}
+
+}  // namespace parct::forest

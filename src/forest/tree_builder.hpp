@@ -1,0 +1,37 @@
+// The paper's input generators (§4 "Input Generation"):
+//
+//  * `build_tree(n, t, chain_factor, seed)` — the two-phase tree builder.
+//    Phase 1 builds a balanced t-ary tree with r = max(n - ceil(n*f), 2)
+//    vertices (all but possibly one internal node has t children); phase 2
+//    adds the remaining n - r vertices by repeatedly picking a random edge
+//    (u, v) and splitting it into (u, w), (w, v). The chain factor f in
+//    [0, 1] is (approximately) the fraction of degree-two vertices: f = 0
+//    gives a balanced tree, f = 1 a single chain.
+//
+//  * `build_perfect_binary(n)` — perfect binary trees (special case in the
+//    paper's experiments), n = 2^k - 1.
+#pragma once
+
+#include <cstdint>
+
+#include "forest/forest.hpp"
+
+namespace parct::forest {
+
+/// Two-phase chain-factor tree builder (see header comment). The tree's
+/// root is vertex 0. `extra_capacity` reserves additional absent vertex ids
+/// above n for later ChangeSet additions.
+Forest build_tree(std::size_t n, int t, double chain_factor,
+                  std::uint64_t seed, std::size_t extra_capacity = 0);
+
+/// Perfect binary tree; `n` must be 2^k - 1. Root is vertex 0, children of
+/// i are 2i+1 and 2i+2.
+Forest build_perfect_binary(std::size_t n, std::size_t extra_capacity = 0);
+
+/// Balanced t-ary tree with n vertices (phase 1 of the builder alone).
+Forest build_balanced(std::size_t n, int t, std::size_t extra_capacity = 0);
+
+/// Single chain 0 <- 1 <- ... <- n-1 (vertex 0 is the root).
+Forest build_chain(std::size_t n, std::size_t extra_capacity = 0);
+
+}  // namespace parct::forest

@@ -1,0 +1,102 @@
+#include "forest/validation.hpp"
+
+#include <vector>
+
+namespace parct::forest {
+
+std::optional<std::string> check_forest(const Forest& f) {
+  const std::size_t cap = f.capacity();
+  std::size_t edges = 0;
+  for (VertexId v = 0; v < cap; ++v) {
+    if (!f.present(v)) {
+      continue;
+    }
+    if (f.degree(v) > f.degree_bound()) {
+      return "degree bound exceeded at vertex " + std::to_string(v);
+    }
+    if (!f.is_root(v)) {
+      const VertexId p = f.parent(v);
+      if (p >= cap || !f.present(p)) {
+        return "parent of " + std::to_string(v) + " not present";
+      }
+      if (f.children(p)[f.parent_slot(v)] != v) {
+        return "parent slot of " + std::to_string(v) + " inconsistent";
+      }
+      ++edges;
+    }
+    for (int s = 0; s < kMaxDegree; ++s) {
+      const VertexId u = f.children(v)[s];
+      if (u == kNoVertex) continue;
+      if (u >= cap || !f.present(u)) {
+        return "child slot of " + std::to_string(v) + " holds absent vertex";
+      }
+      if (f.parent(u) != v || f.parent_slot(u) != s) {
+        return "child " + std::to_string(u) + " does not point back to " +
+               std::to_string(v);
+      }
+    }
+  }
+  if (edges != f.num_edges()) return "edge count mismatch";
+
+  // Acyclicity: colour vertices along parent chains.
+  // 0 = unvisited, 1 = on current path, 2 = done.
+  std::vector<std::uint8_t> colour(cap, 0);
+  std::vector<VertexId> path;
+  for (VertexId v = 0; v < cap; ++v) {
+    if (!f.present(v) || colour[v] != 0) continue;
+    path.clear();
+    VertexId u = v;
+    while (colour[u] == 0) {
+      colour[u] = 1;
+      path.push_back(u);
+      if (f.is_root(u)) break;
+      u = f.parent(u);
+    }
+    if (colour[u] == 1 && !f.is_root(u)) {
+      return "cycle through vertex " + std::to_string(u);
+    }
+    for (VertexId w : path) colour[w] = 2;
+  }
+  return std::nullopt;
+}
+
+std::size_t depth(const Forest& f, VertexId v) {
+  std::size_t d = 0;
+  while (!f.is_root(v)) {
+    v = f.parent(v);
+    ++d;
+  }
+  return d;
+}
+
+VertexId root_of(const Forest& f, VertexId v) {
+  while (!f.is_root(v)) v = f.parent(v);
+  return v;
+}
+
+std::size_t height(const Forest& f) {
+  // Memoized depth over all present vertices.
+  std::vector<std::uint32_t> memo(f.capacity(), UINT32_MAX);
+  std::size_t best = 0;
+  std::vector<VertexId> path;
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (!f.present(v)) continue;
+    path.clear();
+    VertexId u = v;
+    while (memo[u] == UINT32_MAX && !f.is_root(u)) {
+      path.push_back(u);
+      u = f.parent(u);
+    }
+    std::uint32_t d = f.is_root(u) && memo[u] == UINT32_MAX ? 0 : memo[u];
+    memo[u] = d;
+    while (!path.empty()) {
+      ++d;
+      memo[path.back()] = d;
+      path.pop_back();
+    }
+    best = std::max<std::size_t>(best, memo[v]);
+  }
+  return best;
+}
+
+}  // namespace parct::forest

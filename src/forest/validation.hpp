@@ -1,0 +1,26 @@
+// Structural validation of Forest instances (used by tests, generators and
+// the ChangeSet checker).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "forest/forest.hpp"
+
+namespace parct::forest {
+
+/// Verifies: parent/child-slot cross-consistency, degree bound, only
+/// present endpoints, and acyclicity of parent chains. Returns an error
+/// description, or nullopt if `f` is a valid rooted forest.
+std::optional<std::string> check_forest(const Forest& f);
+
+/// Depth of v (root has depth 0). Requires valid forest.
+std::size_t depth(const Forest& f, VertexId v);
+
+/// Root of v's tree.
+VertexId root_of(const Forest& f, VertexId v);
+
+/// Height of the whole forest (max depth over present vertices; 0 if empty).
+std::size_t height(const Forest& f);
+
+}  // namespace parct::forest

@@ -1,0 +1,16 @@
+#include "hashing/coin_flips.hpp"
+
+namespace parct::hashing {
+
+CoinSchedule::CoinSchedule(std::uint64_t master_seed)
+    : master_seed_(master_seed), generator_(master_seed) {
+  ensure_rounds(64);  // enough for forests up to ~2^40 vertices in practice
+}
+
+void CoinSchedule::ensure_rounds(std::size_t rounds) {
+  while (hashes_.size() < rounds) {
+    hashes_.push_back(TwoIndependentHash::random(generator_));
+  }
+}
+
+}  // namespace parct::hashing

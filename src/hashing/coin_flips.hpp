@@ -1,0 +1,49 @@
+// CoinSchedule: the per-round randomness of the contraction algorithm.
+//
+// Round i uses one member of a 2-wise independent family (Heads(i, v) in
+// the paper). The schedule is derived deterministically from a master seed
+// and extended lazily as contraction (or change propagation) reaches new
+// rounds, so a dynamic update reuses *exactly* the coin flips of the
+// original construction on unaffected rounds — the property change
+// propagation needs to reuse unaffected sub-computations, and the property
+// our from-scratch-equivalence tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hashing/splitmix64.hpp"
+#include "hashing/two_independent.hpp"
+
+namespace parct::hashing {
+
+class CoinSchedule {
+ public:
+  explicit CoinSchedule(std::uint64_t master_seed = 0x5EEDBA5EDC0FFEEull);
+
+  /// Heads(i, v): did vertex v flip heads in round i?
+  bool heads(std::size_t round, std::uint64_t v) const {
+    // const_cast-free lazy growth is handled by ensure_rounds() callers on
+    // the mutation path; reads assume the round already exists.
+    return hashes_[round].coin(v);
+  }
+
+  /// Guarantees rounds [0, rounds) are available. Not thread-safe; call
+  /// before entering a parallel region for a round.
+  void ensure_rounds(std::size_t rounds);
+
+  std::size_t available_rounds() const { return hashes_.size(); }
+  std::uint64_t master_seed() const { return master_seed_; }
+
+  bool operator==(const CoinSchedule& other) const {
+    return master_seed_ == other.master_seed_;
+  }
+
+ private:
+  std::uint64_t master_seed_;
+  SplitMix64 generator_;
+  std::vector<TwoIndependentHash> hashes_;
+};
+
+}  // namespace parct::hashing

@@ -1,0 +1,54 @@
+// A 4-wise independent hash family over the Mersenne prime p = 2^61 - 1:
+// h(x) = a3*x^3 + a2*x^2 + a1*x + a0 (mod p), a3 != 0.
+//
+// The paper's algorithm needs only 2-wise independence for its expected
+// bounds, but pair events like "v compresses" involve TWO adjacent coins,
+// whose covariance 2-wise independence does not control — on long chains
+// the per-round shrink factor visibly fluctuates (see
+// tests/contraction_forest_test.cpp ChainDecayNearThreeQuartersOnAverage
+// and bench_ablation_hashing). Degree-3 polynomials give 4-wise
+// independence, which pins the variance of compress counts and
+// concentrates the decay at its 3/4 mean.
+#pragma once
+
+#include <cstdint>
+
+#include "hashing/splitmix64.hpp"
+#include "hashing/two_independent.hpp"
+
+namespace parct::hashing {
+
+class FourIndependentHash {
+ public:
+  FourIndependentHash() : a_{0, 0, 0, 1} {}
+  FourIndependentHash(std::uint64_t a0, std::uint64_t a1, std::uint64_t a2,
+                      std::uint64_t a3)
+      : a_{a0 % kMersenne61, a1 % kMersenne61, a2 % kMersenne61,
+           a3 % kMersenne61} {
+    if (a_[3] == 0) a_[3] = 1;
+  }
+
+  static FourIndependentHash random(SplitMix64& rng) {
+    return FourIndependentHash(rng.next_below(kMersenne61),
+                               rng.next_below(kMersenne61),
+                               rng.next_below(kMersenne61),
+                               1 + rng.next_below(kMersenne61 - 1));
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    // Horner's rule over Z_p.
+    x %= kMersenne61;
+    std::uint64_t acc = a_[3];
+    acc = add_mod_m61(mul_mod_m61(acc, x), a_[2]);
+    acc = add_mod_m61(mul_mod_m61(acc, x), a_[1]);
+    acc = add_mod_m61(mul_mod_m61(acc, x), a_[0]);
+    return acc;
+  }
+
+  bool coin(std::uint64_t x) const { return (operator()(x) & 1) != 0; }
+
+ private:
+  std::uint64_t a_[4];
+};
+
+}  // namespace parct::hashing

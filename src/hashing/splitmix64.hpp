@@ -1,0 +1,46 @@
+// SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+// generators"): the seed-expansion PRNG used to derive per-round hash
+// function parameters and for deterministic input generation.
+#pragma once
+
+#include <cstdint>
+
+namespace parct::hashing {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection-free
+  /// approximation (bias < 2^-64 * bound, negligible for our bounds).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool() { return (next() & 1) != 0; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot stateless mix of a 64-bit value (same finalizer as SplitMix64).
+inline std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace parct::hashing

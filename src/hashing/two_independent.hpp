@@ -1,0 +1,63 @@
+// A 2-wise independent hash family over the Mersenne prime p = 2^61 - 1:
+// h_{a,b}(x) = ((a*x + b) mod p), with a in [1, p), b in [0, p).
+// The paper's Heads(i, v) coin flips draw one member per contraction round
+// from such a family (§2.4).
+#pragma once
+
+#include <cstdint>
+
+#include "hashing/splitmix64.hpp"
+
+namespace parct::hashing {
+
+inline constexpr std::uint64_t kMersenne61 = (std::uint64_t{1} << 61) - 1;
+
+/// (x * y) mod (2^61 - 1) without overflow.
+inline std::uint64_t mul_mod_m61(std::uint64_t x, std::uint64_t y) {
+  const unsigned __int128 z = static_cast<unsigned __int128>(x) * y;
+  std::uint64_t lo = static_cast<std::uint64_t>(z) & kMersenne61;
+  std::uint64_t hi = static_cast<std::uint64_t>(z >> 61);
+  std::uint64_t r = lo + hi;
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+inline std::uint64_t add_mod_m61(std::uint64_t x, std::uint64_t y) {
+  std::uint64_t r = x + y;  // both < 2^61, no overflow
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// One member h_{a,b} of the family.
+class TwoIndependentHash {
+ public:
+  TwoIndependentHash() : a_(1), b_(0) {}
+  TwoIndependentHash(std::uint64_t a, std::uint64_t b)
+      : a_(a % kMersenne61), b_(b % kMersenne61) {
+    if (a_ == 0) a_ = 1;
+  }
+
+  /// Draws a random member using `rng` for the parameters.
+  static TwoIndependentHash random(SplitMix64& rng) {
+    return TwoIndependentHash(1 + rng.next_below(kMersenne61 - 1),
+                              rng.next_below(kMersenne61));
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const {
+    return add_mod_m61(mul_mod_m61(a_, x % kMersenne61), b_);
+  }
+
+  /// One unbiased-enough coin: parity of the hash value. For a 2-wise
+  /// independent family over Z_p the low bit is 2-wise independent up to an
+  /// O(1/p) additive bias (p = 2^61 - 1).
+  bool coin(std::uint64_t x) const { return (operator()(x) & 1) != 0; }
+
+  std::uint64_t a() const { return a_; }
+  std::uint64_t b() const { return b_; }
+
+ private:
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+}  // namespace parct::hashing

@@ -1,0 +1,139 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA 2005), with the C11
+// memory orderings of Lê et al., PPoPP 2013 ("Correct and efficient
+// work-stealing for weak memory models").
+//
+// The owner pushes and pops at the bottom; thieves steal from the top.
+// Elements are raw pointers; the deque never owns what it stores.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace parct::par {
+
+/// A lock-free single-owner, multi-thief deque of `T*`.
+///
+/// Thread-safety contract: `push_bottom` and `pop_bottom` may only be called
+/// by the owning worker thread; `steal_top` may be called by any thread.
+template <typename T>
+class ChaseLevDeque {
+ public:
+  explicit ChaseLevDeque(std::int64_t initial_capacity = 64)
+      : top_(0), bottom_(0), buffer_(new Buffer(initial_capacity)) {
+    assert((initial_capacity & (initial_capacity - 1)) == 0 &&
+           "capacity must be a power of two");
+  }
+
+  ChaseLevDeque(const ChaseLevDeque&) = delete;
+  ChaseLevDeque& operator=(const ChaseLevDeque&) = delete;
+
+  ~ChaseLevDeque() {
+    Buffer* b = buffer_.load(std::memory_order_relaxed);
+    while (b != nullptr) {
+      Buffer* prev = b->prev;
+      delete b;
+      b = prev;
+    }
+  }
+
+  /// Owner only. Pushes `item` at the bottom.
+  void push_bottom(T* item) {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t > buf->capacity - 1) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Pops from the bottom; returns nullptr if empty.
+  T* pop_bottom() {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // lost the race
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Any thread. Steals from the top; returns nullptr if empty or the
+  /// steal raced and lost.
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T* item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return item;
+  }
+
+  /// Approximate size; safe to call from any thread, result is advisory.
+  std::int64_t size_estimate() const {
+    std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? b - t : 0;
+  }
+
+  bool empty_estimate() const { return size_estimate() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::int64_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T*>[cap]),
+          prev(nullptr) {}
+    ~Buffer() { delete[] slots; }
+
+    T* get(std::int64_t i) const {
+      return slots[i & mask].load(std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* item) {
+      slots[i & mask].store(item, std::memory_order_relaxed);
+    }
+
+    const std::int64_t capacity;
+    const std::int64_t mask;
+    std::atomic<T*>* slots;
+    Buffer* prev;  // retired predecessor, reclaimed at deque destruction
+  };
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    Buffer* bigger = new Buffer(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->put(i, old->get(i));
+    // Old buffers may still be referenced by in-flight thieves, so chain
+    // them for deferred reclamation instead of deleting here.
+    bigger->prev = old;
+    buffer_.store(bigger, std::memory_order_release);
+    return bigger;
+  }
+
+  alignas(64) std::atomic<std::int64_t> top_;
+  alignas(64) std::atomic<std::int64_t> bottom_;
+  alignas(64) std::atomic<Buffer*> buffer_;
+};
+
+}  // namespace parct::par

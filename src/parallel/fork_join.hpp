@@ -1,0 +1,67 @@
+// Binary fork-join on top of the work-stealing scheduler.
+#pragma once
+
+#include <utility>
+
+#include "parallel/scheduler.hpp"
+
+namespace parct::par {
+
+namespace detail {
+
+// Joins `t`: fast path pops it back off our own deque and runs it inline;
+// otherwise it was stolen (or executed early by a nested join) and we help
+// until it completes. A popped task that is not `t` belongs to an outer
+// fork on this worker's stack and has not started; executing it early is
+// safe and implies `t` is already gone from our deque.
+inline void join(Task& t) {
+  Task* popped = scheduler::detail::pop_task();
+  if (popped == &t) {
+    t.run();
+  } else {
+    if (popped != nullptr) popped->run();
+    scheduler::detail::wait_for(&t);
+  }
+  t.rethrow_if_failed();
+}
+
+}  // namespace detail
+
+/// Runs f1 and f2, potentially in parallel; returns when both complete.
+/// Exceptions from either branch are rethrown (f2's wins if both throw).
+template <typename F1, typename F2>
+void fork2join(F1&& f1, F2&& f2) {
+  if (scheduler::num_workers() == 1) {
+    f1();
+    f2();
+    return;
+  }
+  ClosureTask<F2> t2(f2);
+  scheduler::detail::push_task(&t2);
+  try {
+    f1();
+  } catch (...) {
+    detail::join(t2);  // t2 references our stack; must complete before unwind
+    throw;
+  }
+  detail::join(t2);
+}
+
+/// N-ary parallel invocation, balanced binary tree of forks.
+template <typename F1>
+void parallel_invoke(F1&& f1) {
+  f1();
+}
+
+template <typename F1, typename F2, typename... Fs>
+void parallel_invoke(F1&& f1, F2&& f2, Fs&&... fs) {
+  if constexpr (sizeof...(fs) == 0) {
+    fork2join(std::forward<F1>(f1), std::forward<F2>(f2));
+  } else {
+    fork2join([&] { parallel_invoke(std::forward<F1>(f1),
+                                    std::forward<F2>(f2)); },
+              [&] { parallel_invoke(std::forward<Fs>(fs)...); });
+  }
+}
+
+}  // namespace parct::par

@@ -1,0 +1,63 @@
+// Worker-local reducers: race-free accumulation from inside parallel
+// loops without atomics on the hot path. Each worker owns a cache-line
+// padded slot; `reduce()` combines the slots after the parallel region.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/scheduler.hpp"
+
+namespace parct::par {
+
+template <typename T, typename Combine>
+class Reducer {
+ public:
+  explicit Reducer(T identity, Combine combine = Combine{})
+      : identity_(identity),
+        combine_(combine),
+        slots_(scheduler::num_workers(), Slot{identity}) {}
+
+  /// The calling worker's accumulator. Only touch from inside tasks run by
+  /// the pool this reducer was created under (same worker count).
+  T& local() { return slots_[scheduler::worker_id()].value; }
+
+  /// Combines all worker slots. Call after the parallel region completes.
+  T reduce() const {
+    T acc = identity_;
+    for (const Slot& s : slots_) acc = combine_(acc, s.value);
+    return acc;
+  }
+
+  void reset() {
+    for (Slot& s : slots_) s.value = identity_;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    T value;
+  };
+  T identity_;
+  Combine combine_;
+  std::vector<Slot> slots_;
+};
+
+struct PlusCombine {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a + b;
+  }
+};
+struct MaxCombine {
+  template <typename T>
+  T operator()(const T& a, const T& b) const {
+    return a > b ? a : b;
+  }
+};
+
+template <typename T>
+using SumReducer = Reducer<T, PlusCombine>;
+template <typename T>
+using MaxReducer = Reducer<T, MaxCombine>;
+
+}  // namespace parct::par

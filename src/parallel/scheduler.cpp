@@ -1,0 +1,228 @@
+#include "parallel/scheduler.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/chase_lev_deque.hpp"
+
+namespace parct::par::scheduler {
+namespace {
+
+struct alignas(64) WorkerState {
+  ChaseLevDeque<Task> deque;
+  std::uint64_t rng_state = 0;  // victim-selection RNG, owner thread only
+};
+
+struct Pool {
+  explicit Pool(unsigned n) : workers(n) {
+    for (unsigned i = 0; i < n; ++i) {
+      workers[i] = std::make_unique<WorkerState>();
+      workers[i]->rng_state = 0x9E3779B97F4A7C15ull * (i + 1) + 1;
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerState>> workers;
+  std::vector<std::thread> threads;  // helpers for workers 1..n-1
+
+  std::atomic<bool> shutting_down{false};
+  std::atomic<std::uint64_t> work_signal{0};
+  std::atomic<int> sleepers{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  unsigned size() const { return static_cast<unsigned>(workers.size()); }
+};
+
+Pool* g_pool = nullptr;
+thread_local unsigned tl_worker_id = 0;
+thread_local bool tl_in_task = false;
+
+std::uint64_t next_random(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+// Attempts one steal sweep over all other workers in random order.
+// Returns the stolen task or nullptr.
+Task* try_steal(Pool& pool, unsigned self) {
+  const unsigned n = pool.size();
+  if (n <= 1) return nullptr;
+  std::uint64_t& rng = pool.workers[self]->rng_state;
+  const unsigned start = static_cast<unsigned>(next_random(rng) % n);
+  for (unsigned k = 0; k < n; ++k) {
+    unsigned victim = start + k;
+    if (victim >= n) victim -= n;
+    if (victim == self) continue;
+    if (Task* t = pool.workers[victim]->deque.steal_top()) {
+      pool.steals.fetch_add(1, std::memory_order_relaxed);
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void run_task(Task* t) {
+  bool saved = tl_in_task;
+  tl_in_task = true;
+  t->run();
+  tl_in_task = saved;
+}
+
+// Main loop of helper workers (ids 1..n-1).
+void worker_loop(Pool* pool, unsigned id) {
+  tl_worker_id = id;
+  constexpr int kSpinAttempts = 64;
+  while (!pool->shutting_down.load(std::memory_order_acquire)) {
+    if (Task* t = try_steal(*pool, id)) {
+      run_task(t);
+      // Drain our own deque: stolen tasks may have forked children.
+      while (Task* own = pool->workers[id]->deque.pop_bottom()) run_task(own);
+      continue;
+    }
+    // Back off: spin a bit, then park until new work is signalled.
+    bool found = false;
+    for (int i = 0; i < kSpinAttempts; ++i) {
+      std::this_thread::yield();
+      if (Task* t = try_steal(*pool, id)) {
+        run_task(t);
+        while (Task* own = pool->workers[id]->deque.pop_bottom())
+          run_task(own);
+        found = true;
+        break;
+      }
+    }
+    if (found) continue;
+
+    std::uint64_t sig = pool->work_signal.load(std::memory_order_seq_cst);
+    pool->sleepers.fetch_add(1, std::memory_order_seq_cst);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Final sweep after registering as a sleeper (pairs with the fence in
+    // push_task) so a concurrent push cannot be missed.
+    if (Task* t = try_steal(*pool, id)) {
+      pool->sleepers.fetch_sub(1, std::memory_order_seq_cst);
+      run_task(t);
+      while (Task* own = pool->workers[id]->deque.pop_bottom()) run_task(own);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lk(pool->mu);
+      pool->cv.wait(lk, [&] {
+        return pool->shutting_down.load(std::memory_order_acquire) ||
+               pool->work_signal.load(std::memory_order_seq_cst) != sig;
+      });
+    }
+    pool->sleepers.fetch_sub(1, std::memory_order_seq_cst);
+  }
+}
+
+void wake_sleepers(Pool& pool) {
+  pool.work_signal.fetch_add(1, std::memory_order_seq_cst);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (pool.sleepers.load(std::memory_order_seq_cst) > 0) {
+    std::lock_guard<std::mutex> lk(pool.mu);
+    pool.cv.notify_all();
+  }
+}
+
+void destroy_pool(Pool* pool) {
+  if (pool == nullptr) return;
+  pool->shutting_down.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(pool->mu);
+    pool->cv.notify_all();
+  }
+  for (auto& t : pool->threads) t.join();
+  delete pool;
+}
+
+unsigned default_worker_count() {
+  if (const char* env = std::getenv("PARCT_NUM_THREADS")) {
+    int v = std::atoi(env);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct PoolGuard {
+  ~PoolGuard() {
+    destroy_pool(g_pool);
+    g_pool = nullptr;
+  }
+} g_pool_guard;
+
+}  // namespace
+
+void initialize(unsigned num_workers) {
+  if (num_workers == 0) num_workers = default_worker_count();
+  if (g_pool != nullptr && g_pool->size() == num_workers) return;
+  destroy_pool(g_pool);
+  g_pool = new Pool(num_workers);
+  tl_worker_id = 0;  // calling thread is worker 0
+  for (unsigned i = 1; i < num_workers; ++i) {
+    g_pool->threads.emplace_back(worker_loop, g_pool, i);
+  }
+}
+
+void shutdown() {
+  destroy_pool(g_pool);
+  g_pool = nullptr;
+}
+
+unsigned num_workers() {
+  if (g_pool == nullptr) initialize();
+  return g_pool->size();
+}
+
+unsigned worker_id() { return tl_worker_id; }
+
+bool in_parallel_region() { return tl_in_task; }
+
+namespace detail {
+
+void push_task(Task* t) {
+  Pool& pool = *g_pool;
+  pool.workers[tl_worker_id]->deque.push_bottom(t);
+  wake_sleepers(pool);
+}
+
+Task* pop_task() { return g_pool->workers[tl_worker_id]->deque.pop_bottom(); }
+
+bool steal_and_run_one() {
+  if (Task* t = try_steal(*g_pool, tl_worker_id)) {
+    run_task(t);
+    return true;
+  }
+  return false;
+}
+
+void wait_for(Task* t) {
+  Pool& pool = *g_pool;
+  const unsigned self = tl_worker_id;
+  while (!t->finished()) {
+    // Help: run anything forked locally by tasks we ran while waiting,
+    // then try to steal from others.
+    if (Task* own = pool.workers[self]->deque.pop_bottom()) {
+      run_task(own);
+      continue;
+    }
+    if (Task* stolen = try_steal(pool, self)) {
+      run_task(stolen);
+      continue;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace detail
+}  // namespace parct::par::scheduler

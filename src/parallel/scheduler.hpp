@@ -1,0 +1,97 @@
+// Fork-join work-stealing scheduler: the substrate the paper's algorithms
+// run on (a stand-in for PASL [Acar et al.]).
+//
+// Design: one Chase-Lev deque per worker. `fork2join(f1, f2)` pushes a
+// handle for f2, runs f1 inline, and then either pops f2 back (fast path,
+// never stolen) or helps by stealing until f2 completes. Idle workers park
+// on a condition variable after a bounded number of failed steals, so a
+// quiescent pool burns no CPU.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <functional>
+
+namespace parct::par {
+
+/// A unit of stealable work. Stack-allocated inside fork2join; the deque
+/// stores raw pointers to these.
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  /// Runs the task body, records any exception, and publishes completion.
+  void run() noexcept {
+    try {
+      execute();
+    } catch (...) {
+      exception_ = std::current_exception();
+    }
+    finished_.store(true, std::memory_order_release);
+  }
+
+  bool finished() const { return finished_.load(std::memory_order_acquire); }
+
+  /// Rethrows the exception captured during `run`, if any. Join-side only.
+  void rethrow_if_failed() {
+    if (exception_) std::rethrow_exception(exception_);
+  }
+
+ protected:
+  virtual void execute() = 0;
+
+ private:
+  std::atomic<bool> finished_{false};
+  std::exception_ptr exception_;
+};
+
+template <typename F>
+class ClosureTask final : public Task {
+ public:
+  explicit ClosureTask(F& f) : f_(f) {}
+
+ protected:
+  void execute() override { f_(); }
+
+ private:
+  F& f_;
+};
+
+namespace scheduler {
+
+/// Starts (or restarts) the pool with `num_workers` total workers, counting
+/// the calling thread as worker 0. `num_workers == 0` means "use
+/// PARCT_NUM_THREADS if set, else hardware_concurrency". Must not be called
+/// from inside a parallel region. Idempotent when the count is unchanged.
+void initialize(unsigned num_workers = 0);
+
+/// Tears the pool down (joins helper threads). Called automatically at exit.
+void shutdown();
+
+/// Number of workers in the active pool (>= 1). Starts the pool on first use.
+unsigned num_workers();
+
+/// Index of the calling worker in [0, num_workers()), or 0 for the main
+/// thread outside any pool.
+unsigned worker_id();
+
+/// True if the calling thread is a pool worker currently inside a task.
+bool in_parallel_region();
+
+// --- internal API used by fork_join.hpp ---
+namespace detail {
+void push_task(Task* t);
+/// Tries to pop the owner's most recent task; returns nullptr if it was
+/// stolen (or the deque is empty).
+Task* pop_task();
+/// Steals and runs at most one task from some victim; returns true if a
+/// task was executed.
+bool steal_and_run_one();
+/// Busy-helps until `t` is finished: steals and runs other tasks, yielding
+/// between failed attempts.
+void wait_for(Task* t);
+}  // namespace detail
+
+}  // namespace scheduler
+}  // namespace parct::par

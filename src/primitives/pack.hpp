@@ -1,0 +1,72 @@
+// Parallel compaction ("pack"): keep the elements satisfying a predicate,
+// preserving order. This is the C(n) subroutine of the paper's analysis;
+// ours is the work-efficient prefix-sums version: O(n) work, O(log n) span.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "primitives/scan.hpp"
+
+namespace parct::prim {
+
+/// Indices i in [0, n) with pred(i) true, in increasing order.
+template <typename Pred>
+std::vector<std::uint32_t> pack_index(std::size_t n, const Pred& pred) {
+  if (n == 0) return {};
+  if (par::scheduler::num_workers() == 1) {
+    std::vector<std::uint32_t> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return out;
+  }
+  std::vector<std::uint32_t> offsets(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    offsets[i] = pred(i) ? 1u : 0u;
+  });
+  const std::uint32_t total = exclusive_scan_inplace(offsets);
+  std::vector<std::uint32_t> out(total);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    const bool keep = (i + 1 < n) ? offsets[i + 1] != offsets[i]
+                                  : offsets[i] != total;
+    if (keep) out[offsets[i]] = static_cast<std::uint32_t>(i);
+  });
+  return out;
+}
+
+/// Elements of `in` whose index satisfies `pred`, in order.
+template <typename T, typename Pred>
+std::vector<T> pack(const std::vector<T>& in, const Pred& pred) {
+  const std::size_t n = in.size();
+  if (n == 0) return {};
+  if (par::scheduler::num_workers() == 1) {
+    std::vector<T> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pred(i)) out.push_back(in[i]);
+    }
+    return out;
+  }
+  std::vector<std::uint32_t> offsets(n);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    offsets[i] = pred(i) ? 1u : 0u;
+  });
+  const std::uint32_t total = exclusive_scan_inplace(offsets);
+  std::vector<T> out(total);
+  par::parallel_for(0, n, [&](std::size_t i) {
+    const bool keep = (i + 1 < n) ? offsets[i + 1] != offsets[i]
+                                  : offsets[i] != total;
+    if (keep) out[offsets[i]] = in[i];
+  });
+  return out;
+}
+
+/// Elements of `in` satisfying the value predicate, in order.
+template <typename T, typename Pred>
+std::vector<T> filter(const std::vector<T>& in, const Pred& pred) {
+  return pack(in, [&](std::size_t i) { return pred(in[i]); });
+}
+
+}  // namespace parct::prim

@@ -1,0 +1,111 @@
+// Work-efficient parallel prefix sums: O(n) work, O(log n) span.
+// Two-pass blocked algorithm (per-block sums, scan the block sums, then
+// per-block local scans) — the compaction building block the paper's
+// implementation uses (§4 "Implementation").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+
+namespace parct::prim {
+
+/// Exclusive prefix sum of `in[0..n)` into `out[0..n)` (aliasing allowed);
+/// returns the total. `T` must be an additive monoid under `+` with
+/// zero-initialization as identity.
+template <typename T>
+T exclusive_scan(const T* in, T* out, std::size_t n) {
+  if (n == 0) return T{};
+  const std::size_t kBlock = 4096;
+  if (n <= kBlock || par::scheduler::num_workers() == 1) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      T v = in[i];
+      out[i] = acc;
+      acc = acc + v;
+    }
+    return acc;
+  }
+  const std::size_t num_blocks = (n + kBlock - 1) / kBlock;
+  std::vector<T> block_sums(num_blocks);
+  par::parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(lo + kBlock, n);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc = acc + in[i];
+    block_sums[b] = acc;
+  }, 1);
+  T total{};
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T v = block_sums[b];
+    block_sums[b] = total;
+    total = total + v;
+  }
+  par::parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(lo + kBlock, n);
+    T acc = block_sums[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      T v = in[i];
+      out[i] = acc;
+      acc = acc + v;
+    }
+  }, 1);
+  return total;
+}
+
+template <typename T>
+T exclusive_scan(const std::vector<T>& in, std::vector<T>& out) {
+  out.resize(in.size());
+  return exclusive_scan(in.data(), out.data(), in.size());
+}
+
+/// In-place exclusive scan; returns the total.
+template <typename T>
+T exclusive_scan_inplace(std::vector<T>& v) {
+  return exclusive_scan(v.data(), v.data(), v.size());
+}
+
+/// Inclusive prefix sum; returns the total.
+template <typename T>
+T inclusive_scan(const T* in, T* out, std::size_t n) {
+  if (n == 0) return T{};
+  // Exclusive scan shifted by one, folding the element back in.
+  const std::size_t kBlock = 4096;
+  if (n <= kBlock || par::scheduler::num_workers() == 1) {
+    T acc{};
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = acc + in[i];
+      out[i] = acc;
+    }
+    return acc;
+  }
+  const std::size_t num_blocks = (n + kBlock - 1) / kBlock;
+  std::vector<T> block_sums(num_blocks);
+  par::parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(lo + kBlock, n);
+    T acc{};
+    for (std::size_t i = lo; i < hi; ++i) acc = acc + in[i];
+    block_sums[b] = acc;
+  }, 1);
+  T total{};
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    T v = block_sums[b];
+    block_sums[b] = total;
+    total = total + v;
+  }
+  par::parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kBlock;
+    const std::size_t hi = std::min(lo + kBlock, n);
+    T acc = block_sums[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc = acc + in[i];
+      out[i] = acc;
+    }
+  }, 1);
+  return total;
+}
+
+}  // namespace parct::prim

@@ -1,0 +1,60 @@
+// Parallel stable merge sort: O(n log n) work, polylog span (parallel
+// recursive sorting with a sequential merge per node; merges at the top
+// levels dominate span but stay well below the sort's cost in practice).
+// Used for grouping workloads by key (e.g. batch insertions by parent).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/fork_join.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace parct::prim {
+
+namespace detail {
+
+template <typename T, typename Less>
+void merge_sort_rec(T* data, T* buffer, std::size_t n, const Less& less,
+                    std::size_t grain) {
+  if (n <= grain) {
+    std::stable_sort(data, data + n, less);
+    return;
+  }
+  const std::size_t mid = n / 2;
+  par::fork2join(
+      [&] { merge_sort_rec(data, buffer, mid, less, grain); },
+      [&] { merge_sort_rec(data + mid, buffer + mid, n - mid, less, grain); });
+  std::merge(data, data + mid, data + mid, data + n, buffer, less);
+  std::copy(buffer, buffer + n, data);
+}
+
+}  // namespace detail
+
+/// Stable in-place sort of `v` by `less`, parallel over sub-ranges.
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(std::vector<T>& v, Less less = Less{}) {
+  const std::size_t n = v.size();
+  if (n < 2) return;
+  if (par::scheduler::num_workers() == 1 || n <= 4096) {
+    std::stable_sort(v.begin(), v.end(), less);
+    return;
+  }
+  std::vector<T> buffer(n);
+  const std::size_t grain =
+      std::max<std::size_t>(4096, n / (8 * par::scheduler::num_workers()));
+  detail::merge_sort_rec(v.data(), buffer.data(), n, less, grain);
+}
+
+/// Indices 0..n-1 sorted stably by `less(i, j)` on index pairs.
+template <typename LessIdx>
+std::vector<std::uint32_t> sorted_indices(std::size_t n,
+                                          const LessIdx& less) {
+  std::vector<std::uint32_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = static_cast<std::uint32_t>(i);
+  parallel_sort(idx, less);
+  return idx;
+}
+
+}  // namespace parct::prim

@@ -1,0 +1,64 @@
+// Batched, parallel query entry points: answer many independent queries
+// over the maintained structure with one parallel_for. Queries are
+// read-only pointer chases over the contraction records, so they scale
+// embarrassingly — this is where a parallel dynamic structure pays off on
+// the query side too.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "rc/path_aggregate.hpp"
+#include "rc/rc_forest.hpp"
+#include "rc/tree_aggregate.hpp"
+
+namespace parct::rc {
+
+/// roots[i] = root of queries[i]'s tree.
+inline std::vector<VertexId> batch_roots(
+    const RCForest& rcf, const std::vector<VertexId>& queries) {
+  std::vector<VertexId> out(queries.size());
+  par::parallel_for(0, queries.size(), [&](std::size_t i) {
+    out[i] = rcf.root(queries[i]);
+  });
+  return out;
+}
+
+/// result[i] = whether the i-th pair is in the same tree.
+inline std::vector<std::uint8_t> batch_connected(
+    const RCForest& rcf,
+    const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  std::vector<std::uint8_t> out(pairs.size());
+  par::parallel_for(0, pairs.size(), [&](std::size_t i) {
+    out[i] = rcf.connected(pairs[i].first, pairs[i].second) ? 1 : 0;
+  });
+  return out;
+}
+
+/// result[i] = total weight of queries[i]'s tree.
+template <typename T>
+std::vector<T> batch_tree_weights(const RCForest& rcf,
+                                  const TreeAggregate<T>& agg,
+                                  const std::vector<VertexId>& queries) {
+  (void)rcf;
+  std::vector<T> out(queries.size());
+  par::parallel_for(0, queries.size(), [&](std::size_t i) {
+    out[i] = agg.tree_weight(queries[i]);
+  });
+  return out;
+}
+
+/// result[i] = path-to-root aggregate of queries[i].
+template <typename T, typename Combine>
+std::vector<T> batch_paths_to_root(const PathAggregate<T, Combine>& agg,
+                                   const std::vector<VertexId>& queries) {
+  std::vector<T> out(queries.size());
+  par::parallel_for(0, queries.size(), [&](std::size_t i) {
+    out[i] = agg.path_to_root(queries[i]);
+  });
+  return out;
+}
+
+}  // namespace parct::rc

@@ -1,0 +1,97 @@
+#include "rc/expression_eval.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace parct::rc {
+
+namespace {
+
+// Linear form L(x) = a*x + b carried by each pending (compressed-over)
+// edge towards the current parent.
+struct Linear {
+  double a = 1.0;
+  double b = 0.0;
+  double operator()(double x) const { return a * x + b; }
+};
+
+double op_identity(Op op) { return op == Op::kMul ? 1.0 : 0.0; }
+
+double fold(Op op, double acc, double x) {
+  switch (op) {
+    case Op::kAdd: return acc + x;
+    case Op::kMul: return acc * x;
+    case Op::kLeaf: break;
+  }
+  throw std::logic_error("fold on a leaf node");
+}
+
+}  // namespace
+
+ExpressionEvaluator::ExpressionEvaluator(
+    const contract::ContractionForest& c, std::vector<ExprNode> nodes)
+    : c_(c), nodes_(std::move(nodes)) {
+  nodes_.resize(c_.capacity());
+  evaluate();
+}
+
+void ExpressionEvaluator::evaluate() {
+  const std::size_t cap = c_.capacity();
+  value_.assign(cap, 0.0);
+  std::vector<double> acc(cap);
+  std::vector<Linear> lin(cap);
+  std::uint32_t max_d = 0;
+  for (VertexId v = 0; v < cap; ++v) {
+    acc[v] = op_identity(nodes_[v].op);
+    lin[v] = Linear{};
+    max_d = std::max(max_d, c_.duration(v));
+  }
+
+  // Bucket present vertices by death round and replay rounds in order.
+  std::vector<std::vector<VertexId>> by_round(max_d);
+  for (VertexId v = 0; v < cap; ++v) {
+    if (c_.duration(v) > 0) by_round[c_.duration(v) - 1].push_back(v);
+  }
+
+  auto value_of = [&](VertexId v) {
+    // Only called when v has no remaining children, so every child has
+    // been folded into acc already.
+    return nodes_[v].op == Op::kLeaf ? nodes_[v].value : acc[v];
+  };
+
+  for (std::uint32_t round = 0; round < max_d; ++round) {
+    for (VertexId v : by_round[round]) {
+      const contract::RoundRecord& r = c_.record(round, v);
+      if (children_empty(r.children)) {
+        if (r.parent == v) {
+          value_[v] = value_of(v);  // finalize: whole tree evaluated
+        } else {
+          // Rake: deliver L_v(value(v)) to the parent's fold.
+          const VertexId p = r.parent;
+          acc[p] = fold(nodes_[p].op, acc[p], lin[v](value_of(v)));
+        }
+      } else {
+        // Compress: v's value as a function of its remaining child u's
+        // delivered value x is acc_v (+|*) L_u(x); compose with v's own
+        // pending edge form so u now reports directly to v's parent.
+        const VertexId u = only_child(r.children);
+        assert(u != kNoVertex);
+        if (nodes_[v].op == Op::kLeaf) {
+          throw std::logic_error("leaf node has a child in the forest");
+        }
+        Linear lu = lin[u];
+        Linear composed;
+        if (nodes_[v].op == Op::kAdd) {
+          composed.a = lin[v].a * lu.a;
+          composed.b = lin[v].a * (lu.b + acc[v]) + lin[v].b;
+        } else {  // kMul
+          composed.a = lin[v].a * acc[v] * lu.a;
+          composed.b = lin[v].a * acc[v] * lu.b + lin[v].b;
+        }
+        lin[u] = composed;
+      }
+    }
+  }
+}
+
+}  // namespace parct::rc

@@ -1,0 +1,50 @@
+// Expression-tree evaluation by replaying a recorded contraction — the
+// classic Miller-Reif tree-contraction application. Internal nodes are
+// n-ary sums or products, leaves hold constants; the replay folds raked
+// children into their parent's partial result and composes linear forms
+// a*x + b across compresses, so every tree's value is available at its
+// root after O(n) replay work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "contraction/contraction_forest.hpp"
+#include "forest/types.hpp"
+
+namespace parct::rc {
+
+enum class Op : std::uint8_t { kLeaf, kAdd, kMul };
+
+struct ExprNode {
+  Op op = Op::kLeaf;
+  double value = 0.0;  // leaves only
+};
+
+class ExpressionEvaluator {
+ public:
+  /// `nodes[v]` describes vertex v of the (already constructed) structure.
+  /// Leaves must actually be childless in the round-0 forest; internal
+  /// nodes must not be.
+  ExpressionEvaluator(const contract::ContractionForest& c,
+                      std::vector<ExprNode> nodes);
+
+  /// Replays the contraction and computes every tree's value. Call again
+  /// after a dynamic update to the structure. O(total records).
+  void evaluate();
+
+  /// Value of the (sub)expression tree whose *root* is the finalizing
+  /// vertex r — i.e. the whole tree containing r. Precondition: r
+  /// finalized (is a root of the round-0 forest).
+  double value_at_root(VertexId r) const { return value_[r]; }
+
+  /// Updates a leaf's constant; re-evaluation is required afterwards.
+  void set_leaf(VertexId v, double value) { nodes_[v].value = value; }
+
+ private:
+  const contract::ContractionForest& c_;
+  std::vector<ExprNode> nodes_;
+  std::vector<double> value_;  // final value at finalizing vertices
+};
+
+}  // namespace parct::rc

@@ -1,0 +1,89 @@
+// Per-tree (connected component) aggregation over the contraction
+// structure: each vertex carries a weight from a commutative group, and
+// TreeAggregate maintains, at every tree's root, the total weight of the
+// tree. This answers "weight/size of the component containing v" in
+// O(log n) expected time, and supports O(log n) single-vertex weight
+// updates by pushing a delta up the representative chain.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "primitives/counting.hpp"
+#include "rc/rc_forest.hpp"
+
+namespace parct::rc {
+
+/// `T` must form a commutative group under `+`/`-` with `T{}` as identity
+/// (e.g. integers, doubles, vectors of counters).
+template <typename T>
+class TreeAggregate {
+ public:
+  /// Weights default to T{}; set them with set_weight before use or pass a
+  /// full vector.
+  explicit TreeAggregate(const RCForest& rc) : rc_(rc) {
+    weight_.assign(rc.structure().capacity(), T{});
+    rebuild();
+  }
+  TreeAggregate(const RCForest& rc, std::vector<T> weights)
+      : rc_(rc), weight_(std::move(weights)) {
+    weight_.resize(rc.structure().capacity());
+    rebuild();
+  }
+
+  const T& weight(VertexId v) const { return weight_[v]; }
+
+  /// Total weight of the tree containing v. O(log n) expected.
+  T tree_weight(VertexId v) const { return acc_[rc_.root(v)]; }
+
+  /// Changes v's weight and repairs all aggregates on its representative
+  /// chain. O(log n) expected.
+  void set_weight(VertexId v, const T& w) {
+    const T delta = w - weight_[v];
+    weight_[v] = w;
+    acc_[v] = acc_[v] + delta;
+    VertexId u = rc_.representative(v);
+    while (u != kNoVertex) {
+      acc_[u] = acc_[u] + delta;
+      u = rc_.representative(u);
+    }
+  }
+
+  /// Recomputes all accumulators from scratch — required after a
+  /// structural update (edge/vertex changes), since merge targets may have
+  /// changed. O(n + R) where R is the number of rounds.
+  ///
+  /// Invariant rebuilt: acc[v] = weight[v] + sum of acc[u] over all u that
+  /// merged (raked/compressed) into v. Processing vertices in increasing
+  /// death round makes every acc[u] final before it is folded into its
+  /// target (merge targets die strictly later).
+  void rebuild() {
+    const auto& c = rc_.structure();
+    const std::size_t cap = c.capacity();
+    weight_.resize(cap);
+    acc_ = weight_;
+
+    // Stable counting sort of all vertices by death round (absent vertices
+    // land in bucket 0 and are skipped during folding).
+    std::uint32_t max_d = 0;
+    for (VertexId v = 0; v < cap; ++v) {
+      max_d = std::max(max_d, c.duration(v));
+    }
+    std::vector<std::uint32_t> order = prim::counting_sort_indices(
+        cap, [&](std::size_t v) { return c.duration(
+                                      static_cast<VertexId>(v)); },
+        max_d + 1);
+    for (std::uint32_t v : order) {
+      if (c.duration(v) == 0) continue;
+      const VertexId target = rc_.representative(v);
+      if (target != kNoVertex) acc_[target] = acc_[target] + acc_[v];
+    }
+  }
+
+ private:
+  const RCForest& rc_;
+  std::vector<T> weight_;
+  std::vector<T> acc_;
+};
+
+}  // namespace parct::rc

@@ -1,0 +1,147 @@
+#include "static_contraction/static_contract.hpp"
+
+#include "forest/types.hpp"
+#include "parallel/parallel_for.hpp"
+#include "primitives/pack.hpp"
+
+namespace parct::static_contraction {
+
+namespace {
+
+// Flat, double-buffered forest state: one side is round i, the other is
+// built for round i+1, then the roles swap.
+struct Side {
+  std::vector<VertexId> parent;
+  std::vector<std::uint8_t> parent_slot;
+  std::vector<ChildArray> children;
+
+  explicit Side(std::size_t cap)
+      : parent(cap), parent_slot(cap), children(cap) {}
+};
+
+enum class K : std::uint8_t { kSurvive, kFinalize, kRake, kCompress };
+
+K classify(const Side& s, const hashing::CoinSchedule& coins,
+           std::uint32_t i, VertexId v) {
+  if (children_empty(s.children[v])) {
+    return s.parent[v] == v ? K::kFinalize : K::kRake;
+  }
+  const VertexId u = only_child(s.children[v]);
+  if (u != kNoVertex && !children_empty(s.children[u]) &&
+      !coins.heads(i, s.parent[v]) && coins.heads(i, v)) {
+    return K::kCompress;
+  }
+  return K::kSurvive;
+}
+
+template <bool Parallel>
+StaticStats run(const forest::Forest& f, hashing::CoinSchedule& coins,
+                contract::EventHooks* hooks) {
+  const std::size_t cap = f.capacity();
+  Side a(cap), b(cap);
+  std::vector<VertexId> live;
+  live.reserve(f.num_present());
+  for (VertexId v = 0; v < cap; ++v) {
+    if (!f.present(v)) continue;
+    a.parent[v] = f.parent(v);
+    a.parent_slot[v] = static_cast<std::uint8_t>(f.parent_slot(v));
+    a.children[v] = f.children(v);
+    live.push_back(v);
+  }
+  std::vector<K> status(cap);
+
+  auto loop = [&](std::size_t n, auto&& body) {
+    if constexpr (Parallel) {
+      par::parallel_for(0, n, body);
+    } else {
+      for (std::size_t k = 0; k < n; ++k) body(k);
+    }
+  };
+
+  StaticStats stats;
+  Side* cur = &a;
+  Side* next = &b;
+  std::uint32_t i = 0;
+  while (!live.empty()) {
+    stats.total_live += live.size();
+    coins.ensure_rounds(i + 1);
+    const std::size_t n = live.size();
+
+    loop(n, [&](std::size_t k) {
+      status[live[k]] = classify(*cur, coins, i, live[k]);
+    });
+    // Blank next-round state of survivors.
+    loop(n, [&](std::size_t k) {
+      const VertexId v = live[k];
+      if (status[v] != K::kSurvive) return;
+      next->parent[v] = v;
+      next->parent_slot[v] = 0;
+      next->children[v] = kEmptyChildren;
+    });
+    // Promote edges.
+    loop(n, [&](std::size_t k) {
+      const VertexId v = live[k];
+      switch (status[v]) {
+        case K::kSurvive: {
+          const VertexId p = cur->parent[v];
+          if (p != v && status[p] == K::kSurvive) {
+            next->children[p][cur->parent_slot[v]] = v;
+          }
+          for (int s = 0; s < kMaxDegree; ++s) {
+            const VertexId u = cur->children[v][s];
+            if (u == kNoVertex || status[u] != K::kSurvive) continue;
+            next->parent[u] = v;
+            next->parent_slot[u] = static_cast<std::uint8_t>(s);
+          }
+          break;
+        }
+        case K::kFinalize:
+          if (hooks) hooks->on_finalize(i, v);
+          break;
+        case K::kRake:
+          if (hooks) hooks->on_rake(i, v, cur->parent[v]);
+          break;
+        case K::kCompress: {
+          const VertexId u = only_child(cur->children[v]);
+          const VertexId p = cur->parent[v];
+          next->children[p][cur->parent_slot[v]] = u;
+          next->parent[u] = p;
+          next->parent_slot[u] = cur->parent_slot[v];
+          if (hooks) hooks->on_compress(i, v, u, p);
+          break;
+        }
+      }
+    });
+    if constexpr (Parallel) {
+      live = prim::pack(live, [&](std::size_t k) {
+        return status[live[k]] == K::kSurvive;
+      });
+    } else {
+      std::size_t w = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (status[live[k]] == K::kSurvive) live[w++] = live[k];
+      }
+      live.resize(w);
+    }
+    std::swap(cur, next);
+    ++i;
+  }
+  stats.rounds = i;
+  return stats;
+}
+
+}  // namespace
+
+StaticStats static_contract(const forest::Forest& f,
+                            hashing::CoinSchedule& coins,
+                            contract::EventHooks* hooks) {
+  return run<true>(f, coins, hooks);
+}
+
+StaticStats static_contract_sequential(const forest::Forest& f,
+                                       hashing::CoinSchedule& coins,
+                                       contract::EventHooks* hooks) {
+  return run<false>(f, coins, hooks);
+}
+
+}  // namespace parct::static_contraction

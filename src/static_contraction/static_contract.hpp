@@ -1,0 +1,36 @@
+// Optimized static Miller-Reif randomized tree contraction — contracts the
+// forest without recording the contraction data structure. This is the
+// "static" baseline of the paper's evaluation (§4, "Algorithms compared"):
+// the comparator for construction overhead (Figs. 10-13) and, in its
+// sequential form, the numerator of the dynamic-vs-static ratios (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "contraction/hooks.hpp"
+#include "forest/forest.hpp"
+#include "hashing/coin_flips.hpp"
+
+namespace parct::static_contraction {
+
+struct StaticStats {
+  std::uint32_t rounds = 0;
+  std::uint64_t total_live = 0;  // sum over rounds of |V^i|
+};
+
+/// Parallel static contraction: double-buffered flat arrays, one
+/// rake/compress round per iteration, live-set compaction between rounds.
+/// Deterministic in (f, coins) and produces the same round-by-round forests
+/// as `contract::construct` under the same schedule.
+StaticStats static_contract(const forest::Forest& f,
+                            hashing::CoinSchedule& coins,
+                            contract::EventHooks* hooks = nullptr);
+
+/// Sequential static contraction: identical round structure, plain loops,
+/// no scheduler involvement at all.
+StaticStats static_contract_sequential(const forest::Forest& f,
+                                       hashing::CoinSchedule& coins,
+                                       contract::EventHooks* hooks = nullptr);
+
+}  // namespace parct::static_contraction

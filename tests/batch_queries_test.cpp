@@ -1,0 +1,74 @@
+// Tests for the batched parallel query APIs.
+#include <gtest/gtest.h>
+
+#include "contraction/construct.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+#include "hashing/splitmix64.hpp"
+#include "parallel/scheduler.hpp"
+#include "rc/batch_queries.hpp"
+
+namespace parct::rc {
+namespace {
+
+class BatchQueries : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { par::scheduler::initialize(GetParam()); }
+  void TearDown() override { par::scheduler::initialize(1); }
+};
+
+TEST_P(BatchQueries, RootsAndConnectivityMatchScalar) {
+  const std::size_t n = 5000;
+  forest::Forest f = forest::random_forest(n, 6, 4, 0.4, 12);
+  contract::ContractionForest c(n, 4, 3);
+  contract::construct(c, f);
+  RCForest rcf(c);
+
+  hashing::SplitMix64 rng(4);
+  std::vector<VertexId> qs(2000);
+  std::vector<std::pair<VertexId, VertexId>> pairs(2000);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    qs[i] = static_cast<VertexId>(rng.next_below(n));
+    pairs[i] = {static_cast<VertexId>(rng.next_below(n)),
+                static_cast<VertexId>(rng.next_below(n))};
+  }
+  auto roots = batch_roots(rcf, qs);
+  auto conn = batch_connected(rcf, pairs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(roots[i], forest::root_of(f, qs[i]));
+    ASSERT_EQ(conn[i] != 0, forest::root_of(f, pairs[i].first) ==
+                                forest::root_of(f, pairs[i].second));
+  }
+}
+
+TEST_P(BatchQueries, WeightsAndPaths) {
+  const std::size_t n = 2000;
+  forest::Forest f = forest::build_tree(n, 4, 0.5, 8);
+  contract::ContractionForest c(n, 4, 9);
+  PathAggregate<long, PathPlus> path(c, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (!f.is_root(v)) path.stage_edge_weight(v, 1);
+  }
+  contract::construct(c, f, &path);
+  RCForest rcf(c);
+  TreeAggregate<long> tree(rcf, std::vector<long>(n, 1));
+
+  std::vector<VertexId> qs;
+  for (VertexId v = 0; v < n; v += 7) qs.push_back(v);
+  auto weights = batch_tree_weights(rcf, tree, qs);
+  auto depths = batch_paths_to_root(path, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(weights[i], static_cast<long>(n));  // single tree
+    ASSERT_EQ(depths[i],
+              static_cast<long>(forest::depth(f, qs[i])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, BatchQueries, ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace parct::rc

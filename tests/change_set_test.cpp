@@ -1,0 +1,147 @@
+// Tests for ChangeSet validation and application.
+#include <gtest/gtest.h>
+
+#include "forest/change_set.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+
+namespace parct::forest {
+namespace {
+
+Forest small_tree() {
+  // 0 <- 1 <- 2, 0 <- 3; vertex 4 isolated; capacity 8 (5..7 absent).
+  Forest f(8, 4, 5);
+  f.link(1, 0);
+  f.link(2, 1);
+  f.link(3, 0);
+  return f;
+}
+
+TEST(ChangeSet, EmptyIsValid) {
+  Forest f = small_tree();
+  EXPECT_FALSE(check_change_set(f, ChangeSet{}).has_value());
+}
+
+TEST(ChangeSet, ValidEdgeOps) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.del_edge(2, 1).ins_edge(2, 3).ins_edge(4, 2);
+  EXPECT_FALSE(check_change_set(f, m).has_value());
+  Forest g = apply_change_set(f, m);
+  EXPECT_EQ(g.parent(2), 3u);
+  EXPECT_EQ(g.parent(4), 2u);
+  EXPECT_FALSE(check_forest(g).has_value());
+}
+
+TEST(ChangeSet, ValidVertexOps) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.del_vertex(4);                       // isolated: ok without edges
+  m.ins_vertex(6).ins_edge(6, 3);        // new leaf under 3
+  EXPECT_FALSE(check_change_set(f, m).has_value());
+  Forest g = apply_change_set(f, m);
+  EXPECT_FALSE(g.present(4));
+  EXPECT_TRUE(g.present(6));
+  EXPECT_EQ(g.parent(6), 3u);
+}
+
+TEST(ChangeSet, RejectsCycle) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.ins_edge(0, 2);  // 0 <- 1 <- 2 <- 0
+  auto err = check_change_set(f, m);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("cycle"), std::string::npos);
+}
+
+TEST(ChangeSet, RejectsSecondParent) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.ins_edge(2, 0);  // 2 already has parent 1
+  EXPECT_TRUE(check_change_set(f, m).has_value());
+}
+
+TEST(ChangeSet, RejectsMissingDeleteEdge) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.del_edge(3, 1);  // 3's parent is 0, not 1
+  EXPECT_TRUE(check_change_set(f, m).has_value());
+}
+
+TEST(ChangeSet, RejectsVertexRemovalKeepingEdges) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.del_vertex(1);  // 1 has parent edge and child edge
+  EXPECT_TRUE(check_change_set(f, m).has_value());
+  ChangeSet m2;
+  m2.del_vertex(1).del_edge(1, 0).del_edge(2, 1);
+  EXPECT_FALSE(check_change_set(f, m2).has_value());
+}
+
+TEST(ChangeSet, RejectsDuplicateEntries) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.del_edge(2, 1).del_edge(2, 1);
+  EXPECT_TRUE(check_change_set(f, m).has_value());
+  ChangeSet m2;
+  m2.ins_vertex(6).ins_vertex(6);
+  EXPECT_TRUE(check_change_set(f, m2).has_value());
+}
+
+TEST(ChangeSet, RejectsAddingPresentVertex) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.ins_vertex(3);
+  EXPECT_TRUE(check_change_set(f, m).has_value());
+}
+
+TEST(ChangeSet, RejectsRemovingAbsentVertex) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.del_vertex(7);
+  EXPECT_TRUE(check_change_set(f, m).has_value());
+}
+
+TEST(ChangeSet, RejectsExistingInsertEdge) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.ins_edge(1, 0);
+  EXPECT_TRUE(check_change_set(f, m).has_value());
+}
+
+TEST(ChangeSet, RejectsEdgeToRemovedVertex) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.del_vertex(4).ins_edge(3, 4);
+  EXPECT_TRUE(check_change_set(f, m).has_value());
+}
+
+TEST(ChangeSet, RejectsDegreeOverflow) {
+  Forest f(8, 2, 8);
+  f.link(1, 0);
+  f.link(2, 0);
+  ChangeSet m;
+  m.ins_edge(3, 0);  // 0 already has 2 children, bound is 2
+  auto err = check_change_set(f, m);
+  EXPECT_TRUE(err.has_value());
+}
+
+TEST(ChangeSet, ApplyGrowsUniverseForLargeIds) {
+  Forest f = small_tree();
+  ChangeSet m;
+  m.ins_vertex(20).ins_edge(20, 0);
+  Forest g = apply_change_set(f, m);
+  EXPECT_GE(g.capacity(), 21u);
+  EXPECT_TRUE(g.present(20));
+}
+
+TEST(ChangeSet, SizeAccounting) {
+  ChangeSet m;
+  m.ins_vertex(1).del_vertex(2).ins_edge(3, 4).del_edge(5, 6);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_TRUE(ChangeSet{}.empty());
+}
+
+}  // namespace
+}  // namespace parct::forest

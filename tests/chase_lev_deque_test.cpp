@@ -1,0 +1,132 @@
+// Tests for the Chase-Lev work-stealing deque.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "parallel/chase_lev_deque.hpp"
+
+namespace parct::par {
+namespace {
+
+TEST(ChaseLevDeque, EmptyPopsNull) {
+  ChaseLevDeque<int> d;
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+  EXPECT_EQ(d.steal_top(), nullptr);
+  EXPECT_TRUE(d.empty_estimate());
+}
+
+TEST(ChaseLevDeque, LifoForOwner) {
+  ChaseLevDeque<int> d;
+  int a = 1, b = 2, c = 3;
+  d.push_bottom(&a);
+  d.push_bottom(&b);
+  d.push_bottom(&c);
+  EXPECT_EQ(d.pop_bottom(), &c);
+  EXPECT_EQ(d.pop_bottom(), &b);
+  EXPECT_EQ(d.pop_bottom(), &a);
+  EXPECT_EQ(d.pop_bottom(), nullptr);
+}
+
+TEST(ChaseLevDeque, FifoForThief) {
+  ChaseLevDeque<int> d;
+  int a = 1, b = 2, c = 3;
+  d.push_bottom(&a);
+  d.push_bottom(&b);
+  d.push_bottom(&c);
+  EXPECT_EQ(d.steal_top(), &a);
+  EXPECT_EQ(d.steal_top(), &b);
+  EXPECT_EQ(d.steal_top(), &c);
+  EXPECT_EQ(d.steal_top(), nullptr);
+}
+
+TEST(ChaseLevDeque, MixedOwnerAndThief) {
+  ChaseLevDeque<int> d;
+  int items[6];
+  for (int& x : items) d.push_bottom(&x);
+  EXPECT_EQ(d.steal_top(), &items[0]);
+  EXPECT_EQ(d.pop_bottom(), &items[5]);
+  EXPECT_EQ(d.steal_top(), &items[1]);
+  EXPECT_EQ(d.pop_bottom(), &items[4]);
+  EXPECT_EQ(d.size_estimate(), 2);
+}
+
+TEST(ChaseLevDeque, GrowsPastInitialCapacity) {
+  ChaseLevDeque<int> d(4);
+  std::vector<int> items(1000);
+  for (int& x : items) d.push_bottom(&x);
+  for (int i = 999; i >= 0; --i) EXPECT_EQ(d.pop_bottom(), &items[i]);
+}
+
+TEST(ChaseLevDeque, InterleavedPushPopNeverLoses) {
+  ChaseLevDeque<int> d;
+  std::vector<int> items(100);
+  // Saw-tooth usage: push 3, pop 2, repeatedly.
+  std::size_t pushed = 0;
+  std::vector<int*> got;
+  while (pushed < items.size()) {
+    for (int k = 0; k < 3 && pushed < items.size(); ++k) {
+      d.push_bottom(&items[pushed++]);
+    }
+    for (int k = 0; k < 2; ++k) {
+      if (int* p = d.pop_bottom()) got.push_back(p);
+    }
+  }
+  while (int* p = d.pop_bottom()) got.push_back(p);
+  EXPECT_EQ(got.size(), items.size());
+  EXPECT_EQ(std::set<int*>(got.begin(), got.end()).size(), items.size());
+}
+
+// Concurrency: one owner pushing/popping, several thieves stealing. Every
+// item must be claimed exactly once.
+TEST(ChaseLevDeque, StressExactlyOnceDelivery) {
+  constexpr int kItems = 20000;
+  constexpr int kThieves = 3;
+  ChaseLevDeque<int> d;
+  std::vector<int> items(kItems);
+  std::atomic<int> claimed{0};
+  std::vector<std::atomic<int>> seen(kItems);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+
+  auto idx = [&](int* p) { return static_cast<int>(p - items.data()); };
+
+  std::vector<std::thread> thieves;
+  thieves.reserve(kThieves);
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        if (int* p = d.steal_top()) {
+          seen[idx(p)].fetch_add(1);
+          claimed.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Owner: pushes everything, pops intermittently.
+  for (int i = 0; i < kItems; ++i) {
+    d.push_bottom(&items[i]);
+    if ((i & 7) == 0) {
+      if (int* p = d.pop_bottom()) {
+        seen[idx(p)].fetch_add(1);
+        claimed.fetch_add(1);
+      }
+    }
+  }
+  while (int* p = d.pop_bottom()) {
+    seen[idx(p)].fetch_add(1);
+    claimed.fetch_add(1);
+  }
+  while (claimed.load() < kItems) std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  for (auto& th : thieves) th.join();
+
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(seen[i].load(), 1) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace parct::par

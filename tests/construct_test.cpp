@@ -1,0 +1,240 @@
+// Tests for the construction algorithm (paper §2.4): validity against an
+// independent sequential simulator, Lemma-level properties of the recorded
+// rounds, and determinism across worker counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "contraction/construct.hpp"
+#include "contraction/validate.hpp"
+#include "forest/validation.hpp"
+#include "parallel/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ConstructStats;
+using contract::ContractionForest;
+using contract::Kind;
+
+ContractionForest make_and_construct(const forest::Forest& f,
+                                     std::uint64_t seed,
+                                     ConstructStats* stats = nullptr) {
+  ContractionForest c(f.capacity(), f.degree_bound(), seed);
+  ConstructStats s = contract::construct(c, f);
+  if (stats) *stats = s;
+  return c;
+}
+
+TEST(Construct, SingleVertexFinalizesImmediately) {
+  forest::Forest f(1, 4, 1);
+  ContractionForest c = make_and_construct(f, 1);
+  EXPECT_EQ(c.duration(0), 1u);
+  EXPECT_EQ(c.num_rounds(), 1u);
+  EXPECT_FALSE(contract::check_valid(c, f).has_value());
+}
+
+TEST(Construct, TwoVertexEdgeRakesThenFinalizes) {
+  forest::Forest f(2, 4, 2);
+  f.link(1, 0);
+  ContractionForest c = make_and_construct(f, 1);
+  // Vertex 1 is a non-root leaf: rakes in round 0. Vertex 0 then finalizes
+  // in round 1.
+  EXPECT_EQ(c.duration(1), 1u);
+  EXPECT_EQ(c.duration(0), 2u);
+  EXPECT_FALSE(contract::check_valid(c, f).has_value());
+}
+
+TEST(Construct, EmptyForestNoRounds) {
+  forest::Forest f(8, 4, 0);
+  ContractionForest c(8, 4, 1);
+  ConstructStats s = contract::construct(c, f);
+  EXPECT_EQ(s.rounds, 0u);
+  EXPECT_EQ(c.num_rounds(), 0u);
+}
+
+TEST(Construct, IsolatedVerticesAllFinalizeRoundZero) {
+  forest::Forest f(64, 4, 64);  // 64 isolated roots
+  ContractionForest c = make_and_construct(f, 7);
+  for (VertexId v = 0; v < 64; ++v) EXPECT_EQ(c.duration(v), 1u);
+}
+
+// --- validity against the independent reference simulator -------------
+
+struct ShapeSeed {
+  test::Shape shape;
+  std::size_t n;
+  std::uint64_t seed;
+};
+
+class ConstructValidity : public ::testing::TestWithParam<ShapeSeed> {};
+
+TEST_P(ConstructValidity, MatchesReferenceSimulation) {
+  const ShapeSeed& p = GetParam();
+  forest::Forest f = p.shape.build(p.n, p.seed, 0);
+  ASSERT_FALSE(forest::check_forest(f).has_value());
+  ContractionForest c = make_and_construct(f, p.seed * 31 + 1);
+  auto err = contract::check_valid(c, f);
+  EXPECT_FALSE(err.has_value()) << *err;
+}
+
+std::vector<ShapeSeed> validity_cases() {
+  std::vector<ShapeSeed> out;
+  for (const auto& shape : test::kShapes) {
+    for (std::size_t n : {2, 17, 128, 1000}) {
+      for (std::uint64_t seed : {1ull, 42ull}) {
+        out.push_back({shape, n, seed});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConstructValidity, ::testing::ValuesIn(validity_cases()),
+    [](const ::testing::TestParamInfo<ShapeSeed>& info) {
+      return std::string(info.param.shape.name) + "_n" +
+             std::to_string(info.param.n) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+// --- structural / lemma-level properties ------------------------------
+
+class ConstructProperties : public ::testing::TestWithParam<test::Shape> {};
+
+TEST_P(ConstructProperties, RoundsLogarithmicAndWorkLinear) {
+  const std::size_t n = 20000;
+  forest::Forest f = GetParam().build(n, 99, 0);
+  ConstructStats stats;
+  make_and_construct(f, 12345, &stats);
+  const double logn = std::log2(static_cast<double>(f.num_present()));
+  // O(log n) rounds w.h.p. (Lemma 6); pure chains contract only by
+  // independent-set compression (expected factor 3/4 per round), which
+  // the generous constant still covers.
+  EXPECT_LE(stats.rounds, 12 * logn + 16);
+  // Theorem 1: total work O(n). Geometric decay gives sum <= n / (1 - β),
+  // β = 3/4 -> factor 4; allow slack for shape variance.
+  EXPECT_LE(stats.total_live, 8 * f.num_present() + 64);
+}
+
+TEST_P(ConstructProperties, LivePerRoundDecays) {
+  forest::Forest f = GetParam().build(4000, 5, 0);
+  ConstructStats stats;
+  make_and_construct(f, 5, &stats);
+  // |V^{i+6}| < |V^i| must hold eventually: check coarse monotone decay
+  // over windows (Lemma 5 gives expected geometric decay).
+  for (std::size_t i = 0; i + 6 < stats.live_per_round.size(); ++i) {
+    EXPECT_LT(stats.live_per_round[i + 6], stats.live_per_round[i])
+        << "no decay across rounds " << i << ".." << i + 6;
+  }
+}
+
+TEST_P(ConstructProperties, CompressedVerticesFormIndependentSet) {
+  forest::Forest f = GetParam().build(3000, 17, 0);
+  ContractionForest c = make_and_construct(f, 17);
+  const std::uint32_t rounds = c.num_rounds();
+  for (std::uint32_t i = 0; i < rounds; ++i) {
+    // Collect vertices compressing in round i and check no two adjacent.
+    std::set<VertexId> comp;
+    for (VertexId v = 0; v < c.capacity(); ++v) {
+      if (c.duration(v) > i && c.classify(i, v) == Kind::kCompress) {
+        comp.insert(v);
+      }
+    }
+    for (VertexId v : comp) {
+      const auto& r = c.record(i, v);
+      EXPECT_EQ(comp.count(r.parent), 0u)
+          << "adjacent compresses " << v << " and parent " << r.parent
+          << " in round " << i;
+      for (VertexId u : r.children) {
+        if (u != kNoVertex) {
+          EXPECT_EQ(comp.count(u), 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(ConstructProperties, RootsNeverCompressAndStayRoots) {
+  forest::Forest f = GetParam().build(2000, 23, 0);
+  ContractionForest c = make_and_construct(f, 23);
+  for (VertexId v = 0; v < c.capacity(); ++v) {
+    if (c.duration(v) == 0) continue;
+    const bool root0 = c.record(0, v).parent == v;
+    for (std::uint32_t i = 0; i < c.duration(v); ++i) {
+      EXPECT_EQ(c.record(i, v).parent == v, root0)
+          << "root status changed for " << v << " at round " << i;
+    }
+    if (root0) {
+      // Roots die by finalizing.
+      const auto& last = c.record(c.duration(v) - 1, v);
+      EXPECT_TRUE(children_empty(last.children));
+    }
+  }
+}
+
+TEST_P(ConstructProperties, ExactlyOneFinalizePerTree) {
+  forest::Forest f = GetParam().build(1500, 31, 0);
+  ContractionForest c = make_and_construct(f, 31);
+  std::size_t finalizers = 0;
+  for (VertexId v = 0; v < c.capacity(); ++v) {
+    if (c.duration(v) == 0) continue;
+    const auto& last = c.record(c.duration(v) - 1, v);
+    if (last.parent == v && children_empty(last.children)) ++finalizers;
+  }
+  EXPECT_EQ(finalizers, f.roots().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ConstructProperties, ::testing::ValuesIn(test::kShapes),
+    [](const ::testing::TestParamInfo<test::Shape>& info) {
+      return info.param.name;
+    });
+
+// --- determinism -------------------------------------------------------
+
+TEST(Construct, DeterministicAcrossWorkerCounts) {
+  forest::Forest f = forest::build_tree(5000, 4, 0.6, 77);
+  par::scheduler::initialize(1);
+  ContractionForest c1 = make_and_construct(f, 2024);
+  par::scheduler::initialize(4);
+  ContractionForest c4 = make_and_construct(f, 2024);
+  par::scheduler::initialize(1);
+  EXPECT_TRUE(contract::structurally_equal(c1, c4));
+}
+
+TEST(Construct, DifferentSeedsDifferentSchedules) {
+  forest::Forest f = forest::build_tree(2000, 4, 0.6, 7);
+  ContractionForest a = make_and_construct(f, 1);
+  ContractionForest b = make_and_construct(f, 2);
+  // Both valid, but (almost surely) not identical round-by-round.
+  EXPECT_FALSE(contract::check_valid(a, f).has_value());
+  EXPECT_FALSE(contract::check_valid(b, f).has_value());
+  EXPECT_FALSE(contract::structurally_equal(a, b));
+}
+
+TEST(Construct, ReconstructionIsIdempotent) {
+  forest::Forest f = forest::build_tree(1000, 4, 0.3, 3);
+  ContractionForest a = make_and_construct(f, 5);
+  ContractionForest b = make_and_construct(f, 5);
+  EXPECT_TRUE(contract::structurally_equal(a, b));
+}
+
+TEST(Construct, ExtractForestRoundTrips) {
+  forest::Forest f = forest::build_tree(800, 4, 0.5, 11);
+  ContractionForest c = make_and_construct(f, 13);
+  forest::Forest g = c.extract_forest();
+  EXPECT_TRUE(f == g);  // same vertices and parent relation
+}
+
+TEST(Construct, SpaceIsLinear) {
+  forest::Forest f = forest::build_tree(30000, 4, 0.6, 1);
+  ContractionForest c = make_and_construct(f, 1);
+  // Expected sum of durations ~ n/(1-β) = 4n; allow generous slack.
+  EXPECT_LE(c.total_records(), 10 * f.num_present());
+}
+
+}  // namespace
+}  // namespace parct

@@ -1,0 +1,201 @@
+// Tests for the ContractionForest container itself, the analysis module,
+// the independent validator's ability to catch corruption, and event hooks
+// during construction and dynamic updates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+#include "contraction/analysis.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "contraction/validate.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+
+namespace parct::contract {
+namespace {
+
+TEST(ContractionForest, CapacityAndGrowth) {
+  ContractionForest c(10, 4, 1);
+  EXPECT_EQ(c.capacity(), 10u);
+  c.ensure_capacity(5);  // no shrink
+  EXPECT_EQ(c.capacity(), 10u);
+  c.ensure_capacity(20);
+  EXPECT_EQ(c.capacity(), 20u);
+  EXPECT_EQ(c.duration(19), 0u);
+  EXPECT_THROW(ContractionForest(4, 0, 1), std::invalid_argument);
+}
+
+TEST(ContractionForest, StructurallyEqualToleratesCapacityPadding) {
+  forest::Forest f = forest::build_chain(50);
+  ContractionForest a(50, 4, 9);
+  construct(a, f);
+  forest::Forest f2 = forest::build_chain(50, /*extra_capacity=*/30);
+  ContractionForest b(80, 4, 9);
+  construct(b, f2);
+  EXPECT_TRUE(structurally_equal(a, b));
+  EXPECT_TRUE(structurally_equal(b, a));
+}
+
+TEST(ContractionForest, StructurallyEqualCatchesDifferences) {
+  forest::Forest f = forest::build_chain(50);
+  ContractionForest a(50, 4, 9);
+  construct(a, f);
+  // Different duration.
+  {
+    ContractionForest b(50, 4, 9);
+    construct(b, f);
+    b.set_duration(10, b.duration(10) + 1);
+    EXPECT_FALSE(structurally_equal(a, b));
+  }
+  // Different parent in some round.
+  {
+    ContractionForest b(50, 4, 9);
+    construct(b, f);
+    b.record_mut(0, 20).parent = 3;
+    EXPECT_FALSE(structurally_equal(a, b));
+  }
+}
+
+TEST(Validator, CatchesCorruptedParent) {
+  forest::Forest f = forest::build_tree(200, 4, 0.4, 2);
+  ContractionForest c(200, 4, 3);
+  construct(c, f);
+  ASSERT_FALSE(check_valid(c, f).has_value());
+  c.record_mut(1, 150).parent = 150;  // corrupt a mid-contraction record
+  EXPECT_TRUE(check_valid(c, f).has_value());
+}
+
+TEST(Validator, CatchesCorruptedDuration) {
+  forest::Forest f = forest::build_tree(200, 4, 0.4, 2);
+  ContractionForest c(200, 4, 3);
+  construct(c, f);
+  const VertexId victim = 120;
+  c.set_duration(victim, c.duration(victim) > 1 ? 1 : 2);
+  EXPECT_TRUE(check_valid(c, f).has_value());
+}
+
+TEST(Validator, CatchesWrongForest) {
+  forest::Forest f = forest::build_tree(200, 4, 0.4, 2);
+  ContractionForest c(200, 4, 3);
+  construct(c, f);
+  forest::Forest g = forest::build_tree(200, 4, 0.4, 99);  // different tree
+  EXPECT_TRUE(check_valid(c, g).has_value());
+}
+
+// --- analysis / profile -------------------------------------------------
+
+TEST(Analysis, ProfileAccountsEveryVertexOnce) {
+  forest::Forest f = forest::random_forest(3000, 4, 4, 0.5, 8);
+  ContractionForest c(3000, 4, 17);
+  ConstructStats stats = construct(c, f);
+  ContractionProfile p = profile(c);
+
+  ASSERT_EQ(p.num_rounds(), stats.rounds);
+  EXPECT_EQ(p.total_work(), stats.total_live);
+  std::uint64_t deaths = 0, finals = 0;
+  for (std::size_t i = 0; i < p.rounds.size(); ++i) {
+    EXPECT_EQ(p.rounds[i].live, stats.live_per_round[i]);
+    deaths += p.rounds[i].contracted();
+    finals += p.rounds[i].finalizes;
+  }
+  EXPECT_EQ(deaths, f.num_present());
+  EXPECT_EQ(finals, f.roots().size());
+}
+
+TEST(Analysis, GeometricDecayEmpirically) {
+  // Lemma 5: E|V^{i+1}| <= (3/4)|V^i|. Empirically the worst observed
+  // per-round shrink over big rounds should stay clearly below 1.
+  forest::Forest f = forest::build_tree(50000, 4, 0.6, 4);
+  ContractionForest c(f.capacity(), 4, 5);
+  construct(c, f);
+  ContractionProfile p = profile(c);
+  EXPECT_LT(p.worst_decay(/*min_live=*/1000), 0.95);
+}
+
+TEST(Analysis, ChainDecayNearThreeQuartersOnAverage) {
+  // On a pure chain every interior vertex compresses with probability 1/4
+  // in expectation, so live counts shrink by ~3/4 per round *on average*.
+  // Individual rounds fluctuate (2-wise independent coins only pin the
+  // expectation, not adjacent-pair correlations), so we check the
+  // geometric-mean decay over the large rounds.
+  forest::Forest f = forest::build_chain(100000);
+  ContractionForest c(f.capacity(), 4, 6);
+  construct(c, f);
+  ContractionProfile p = profile(c);
+  std::size_t last_big = 0;
+  while (last_big + 1 < p.rounds.size() &&
+         p.rounds[last_big + 1].live >= 10000) {
+    ++last_big;
+  }
+  ASSERT_GE(last_big, 3u);
+  const double mean_ratio =
+      std::exp(std::log(static_cast<double>(p.rounds[last_big].live) /
+                        p.rounds[0].live) /
+               static_cast<double>(last_big));
+  EXPECT_GT(mean_ratio, 0.68);
+  EXPECT_LT(mean_ratio, 0.88);
+}
+
+// --- event hooks ---------------------------------------------------------
+
+struct Recorder : EventHooks {
+  struct Entry {
+    std::uint32_t round;
+    VertexId v;
+    int kind;  // 0 fin, 1 rake, 2 compress
+  };
+  std::mutex mu;
+  std::vector<Entry> entries;
+  void on_finalize(std::uint32_t round, VertexId v) override {
+    std::lock_guard<std::mutex> lk(mu);
+    entries.push_back({round, v, 0});
+  }
+  void on_rake(std::uint32_t round, VertexId v, VertexId) override {
+    std::lock_guard<std::mutex> lk(mu);
+    entries.push_back({round, v, 1});
+  }
+  void on_compress(std::uint32_t round, VertexId v, VertexId,
+                   VertexId) override {
+    std::lock_guard<std::mutex> lk(mu);
+    entries.push_back({round, v, 2});
+  }
+};
+
+TEST(Hooks, ConstructionFiresOnePerVertex) {
+  forest::Forest f = forest::build_tree(500, 4, 0.5, 3);
+  ContractionForest c(500, 4, 7);
+  Recorder rec;
+  construct(c, f, &rec);
+  EXPECT_EQ(rec.entries.size(), 500u);
+  for (const auto& e : rec.entries) {
+    EXPECT_EQ(e.round, c.duration(e.v) - 1);
+  }
+}
+
+TEST(Hooks, UpdateReFiresForReexecutedVertices) {
+  forest::Forest full = forest::build_tree(500, 4, 0.5, 3, 4);
+  auto [initial, batch] = forest::make_insert_batch(full, 10, 9);
+  ContractionForest c(full.capacity(), 4, 7);
+  construct(c, initial);
+
+  Recorder rec;
+  modify_contraction(c, batch, &rec);
+  EXPECT_FALSE(rec.entries.empty());
+  // Every event reported during the update must match the vertex's final
+  // death record (events are overwrite-semantics; the last one wins, but
+  // since propagate re-executes each round once, every reported event for
+  // a still-alive-in-G vertex reflects the new forest).
+  for (const auto& e : rec.entries) {
+    if (e.round == c.duration(e.v) - 1) {
+      const RoundRecord& last = c.record(e.round, e.v);
+      const bool leaf = children_empty(last.children);
+      const int kind = leaf ? (last.parent == e.v ? 0 : 1) : 2;
+      EXPECT_EQ(kind, e.kind) << "vertex " << e.v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parct::contract

@@ -1,0 +1,135 @@
+// Tests for the sequential Euler-Tour Tree baseline, including randomized
+// cross-checking of connectivity, component sums and subtree sums against
+// brute force on a mirrored Forest.
+#include <gtest/gtest.h>
+
+#include "baseline/euler_tour_tree.hpp"
+#include "forest/forest.hpp"
+#include "forest/validation.hpp"
+#include "hashing/splitmix64.hpp"
+
+namespace parct::baseline {
+namespace {
+
+long brute_subtree_sum(const forest::Forest& f, const std::vector<long>& w,
+                       VertexId v) {
+  long total = w[v];
+  for (VertexId u : f.children(v)) {
+    if (u != kNoVertex) total += brute_subtree_sum(f, w, u);
+  }
+  return total;
+}
+
+TEST(EulerTourTree, SingletonsDisconnected) {
+  EulerTourTree ett(4);
+  EXPECT_FALSE(ett.connected(0, 1));
+  EXPECT_TRUE(ett.connected(2, 2));
+  EXPECT_TRUE(ett.is_root(3));
+  EXPECT_EQ(ett.component_size(0), 1u);
+}
+
+TEST(EulerTourTree, LinkCutConnectivity) {
+  EulerTourTree ett(6);
+  ett.link(1, 0);
+  ett.link(2, 1);
+  ett.link(4, 3);
+  EXPECT_TRUE(ett.connected(0, 2));
+  EXPECT_FALSE(ett.connected(2, 4));
+  EXPECT_EQ(ett.component_size(0), 3u);
+  ett.cut(1);
+  EXPECT_FALSE(ett.connected(0, 2));
+  EXPECT_TRUE(ett.connected(1, 2));
+  EXPECT_EQ(ett.component_size(1), 2u);
+  EXPECT_EQ(ett.component_size(0), 1u);
+}
+
+TEST(EulerTourTree, WeightsAndSums) {
+  EulerTourTree ett(5);
+  for (VertexId v = 0; v < 5; ++v) ett.set_weight(v, 10 * (v + 1));
+  ett.link(1, 0);
+  ett.link(2, 1);
+  ett.link(3, 1);
+  // Tree: 0 <- 1 <- {2, 3}; weights 10,20,30,40.
+  EXPECT_EQ(ett.component_sum(3), 100);
+  EXPECT_EQ(ett.subtree_sum(1), 90);
+  EXPECT_EQ(ett.subtree_sum(2), 30);
+  EXPECT_EQ(ett.subtree_sum(0), 100);
+  ett.set_weight(2, 0);
+  EXPECT_EQ(ett.subtree_sum(1), 60);
+  EXPECT_EQ(ett.component_sum(0), 70);
+}
+
+TEST(EulerTourTree, SubtreeSumIsNonDestructive) {
+  EulerTourTree ett(10);
+  for (VertexId v = 1; v < 10; ++v) ett.link(v, v - 1);
+  for (VertexId v = 0; v < 10; ++v) ett.set_weight(v, 1);
+  for (int rep = 0; rep < 3; ++rep) {
+    for (VertexId v = 0; v < 10; ++v) {
+      EXPECT_EQ(ett.subtree_sum(v), static_cast<long>(10 - v));
+    }
+    EXPECT_TRUE(ett.connected(0, 9));
+  }
+}
+
+TEST(EulerTourTree, DeepChain) {
+  const std::size_t n = 30000;
+  EulerTourTree ett(n);
+  for (VertexId v = 1; v < n; ++v) ett.link(v, v - 1);
+  EXPECT_TRUE(ett.connected(0, n - 1));
+  EXPECT_EQ(ett.component_size(0), n);
+  ett.cut(n / 2);
+  EXPECT_FALSE(ett.connected(0, n - 1));
+  EXPECT_EQ(ett.component_size(n - 1), n - n / 2);
+}
+
+TEST(EulerTourTree, MirrorsForestUnderRandomOps) {
+  const std::size_t n = 600;
+  forest::Forest f(n, 8, n);
+  EulerTourTree ett(n, 42);
+  hashing::SplitMix64 rng(999);
+  std::vector<long> w(n);
+  for (VertexId v = 0; v < n; ++v) {
+    w[v] = static_cast<long>(rng.next_below(50));
+    ett.set_weight(v, w[v]);
+  }
+
+  std::vector<VertexId> non_roots;
+  for (int op = 0; op < 6000; ++op) {
+    const int dice = static_cast<int>(rng.next_below(100));
+    if (!non_roots.empty() && dice < 35) {
+      const std::size_t k = rng.next_below(non_roots.size());
+      const VertexId c = non_roots[k];
+      non_roots[k] = non_roots.back();
+      non_roots.pop_back();
+      f.cut(c);
+      ett.cut(c);
+    } else if (dice < 45) {
+      const VertexId v = static_cast<VertexId>(rng.next_below(n));
+      w[v] = static_cast<long>(rng.next_below(50));
+      ett.set_weight(v, w[v]);
+    } else {
+      const VertexId c = static_cast<VertexId>(rng.next_below(n));
+      const VertexId p = static_cast<VertexId>(rng.next_below(n));
+      if (!f.is_root(c) || c == p) continue;
+      if (forest::root_of(f, p) == c) continue;
+      if (f.degree(p) >= f.degree_bound()) continue;
+      f.link(c, p);
+      ett.link(c, p);
+      non_roots.push_back(c);
+    }
+    if (op % 300 == 0) {
+      for (int q = 0; q < 30; ++q) {
+        const VertexId a = static_cast<VertexId>(rng.next_below(n));
+        const VertexId b = static_cast<VertexId>(rng.next_below(n));
+        ASSERT_EQ(ett.connected(a, b),
+                  forest::root_of(f, a) == forest::root_of(f, b))
+            << "op " << op;
+        ASSERT_EQ(ett.subtree_sum(a), brute_subtree_sum(f, w, a))
+            << "op " << op << " vertex " << a;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parct::baseline

@@ -1,0 +1,179 @@
+// Tests for expression evaluation via contraction replay, checked against
+// a direct recursive evaluator.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <cmath>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/tree_builder.hpp"
+#include "hashing/splitmix64.hpp"
+#include "rc/expression_eval.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using rc::ExprNode;
+using rc::ExpressionEvaluator;
+using rc::Op;
+
+double reference_eval(const forest::Forest& f,
+                      const std::vector<ExprNode>& nodes, VertexId v) {
+  if (nodes[v].op == Op::kLeaf) return nodes[v].value;
+  double acc = nodes[v].op == Op::kMul ? 1.0 : 0.0;
+  for (VertexId u : f.children(v)) {
+    if (u == kNoVertex) continue;
+    const double x = reference_eval(f, nodes, u);
+    acc = nodes[v].op == Op::kMul ? acc * x : acc + x;
+  }
+  return acc;
+}
+
+// Random expression forest: internal nodes alternate ADD/MUL; leaves get
+// small constants (to keep products tame).
+std::vector<ExprNode> random_nodes(const forest::Forest& f,
+                                   std::uint64_t seed) {
+  hashing::SplitMix64 rng(seed);
+  std::vector<ExprNode> nodes(f.capacity());
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (!f.present(v)) continue;
+    if (f.is_leaf(v)) {
+      // Leaves near 1.0 keep products numerically tame on deep trees.
+      nodes[v] = {Op::kLeaf, 0.5 + rng.next_double()};
+    } else {
+      nodes[v] = {rng.next_bool() ? Op::kAdd : Op::kMul, 0.0};
+    }
+  }
+  return nodes;
+}
+
+TEST(ExpressionEval, SingleLeaf) {
+  forest::Forest f(1, 4, 1);
+  ContractionForest c(1, 4, 5);
+  contract::construct(c, f);
+  ExpressionEvaluator eval(c, {{Op::kLeaf, 7.5}});
+  EXPECT_DOUBLE_EQ(eval.value_at_root(0), 7.5);
+}
+
+TEST(ExpressionEval, SimpleSum) {
+  // 0 = 1 + 2 + 3 with leaves 2, 3, 4.
+  forest::Forest f(4, 4, 4);
+  f.link(1, 0);
+  f.link(2, 0);
+  f.link(3, 0);
+  ContractionForest c(4, 4, 5);
+  contract::construct(c, f);
+  std::vector<ExprNode> nodes = {{Op::kAdd, 0},
+                                 {Op::kLeaf, 2},
+                                 {Op::kLeaf, 3},
+                                 {Op::kLeaf, 4}};
+  ExpressionEvaluator eval(c, nodes);
+  EXPECT_DOUBLE_EQ(eval.value_at_root(0), 9.0);
+}
+
+TEST(ExpressionEval, NestedMulAdd) {
+  // 0 = mul(1, 4); 1 = add(2, 3). Leaves: 2=5, 3=6, 4=2 -> (5+6)*2 = 22.
+  forest::Forest f(5, 4, 5);
+  f.link(1, 0);
+  f.link(4, 0);
+  f.link(2, 1);
+  f.link(3, 1);
+  ContractionForest c(5, 4, 9);
+  contract::construct(c, f);
+  std::vector<ExprNode> nodes = {{Op::kMul, 0},
+                                 {Op::kAdd, 0},
+                                 {Op::kLeaf, 5},
+                                 {Op::kLeaf, 6},
+                                 {Op::kLeaf, 2}};
+  ExpressionEvaluator eval(c, nodes);
+  EXPECT_DOUBLE_EQ(eval.value_at_root(0), 22.0);
+}
+
+TEST(ExpressionEval, DeepChainOfUnaryAdds) {
+  // Chain exercises compress-path linear composition: value = leaf value.
+  const std::size_t n = 200;
+  forest::Forest f = forest::build_chain(n);
+  ContractionForest c(n, 4, 13);
+  contract::construct(c, f);
+  std::vector<ExprNode> nodes(n, ExprNode{Op::kAdd, 0});
+  nodes[n - 1] = {Op::kLeaf, 3.25};
+  ExpressionEvaluator eval(c, nodes);
+  EXPECT_DOUBLE_EQ(eval.value_at_root(0), 3.25);
+}
+
+TEST(ExpressionEval, DeepChainOfScaling) {
+  // Unary MUL nodes with a pre-raked... not possible without second child,
+  // so use a caterpillar: each internal node multiplies a constant leaf
+  // with the rest of the chain.
+  const std::size_t n = 31;  // 15 internal, 16 leaves
+  forest::Forest f(2 * n, 4, 2 * n);
+  // Internal spine 0..n-1; leaf n+i under spine i.
+  for (VertexId i = 1; i < n; ++i) f.link(i, i - 1);
+  for (VertexId i = 0; i + 1 < n; ++i) f.link(n + i, i);
+  ContractionForest c(2 * n, 4, 17);
+  contract::construct(c, f);
+  std::vector<ExprNode> nodes(2 * n);
+  for (VertexId i = 0; i + 1 < n; ++i) nodes[i] = {Op::kMul, 0};
+  nodes[n - 1] = {Op::kLeaf, 1.0};
+  for (VertexId i = 0; i + 1 < n; ++i) nodes[n + i] = {Op::kLeaf, 2.0};
+  ExpressionEvaluator eval(c, nodes);
+  EXPECT_DOUBLE_EQ(eval.value_at_root(0),
+                   std::pow(2.0, static_cast<double>(n - 1)));
+}
+
+TEST(ExpressionEval, RandomTreesMatchRecursiveReference) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    forest::Forest f = forest::build_tree(500, 4, 0.4, seed);
+    ContractionForest c(f.capacity(), 4, seed * 3);
+    contract::construct(c, f);
+    auto nodes = random_nodes(f, seed);
+    ExpressionEvaluator eval(c, nodes);
+    const double expected = reference_eval(f, nodes, 0);
+    const double got = eval.value_at_root(0);
+    EXPECT_NEAR(got, expected, std::abs(expected) * 1e-9 + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(ExpressionEval, ReEvaluateAfterLeafUpdate) {
+  forest::Forest f(4, 4, 4);
+  f.link(1, 0);
+  f.link(2, 0);
+  f.link(3, 0);
+  ContractionForest c(4, 4, 5);
+  contract::construct(c, f);
+  ExpressionEvaluator eval(c, {{Op::kAdd, 0},
+                               {Op::kLeaf, 1},
+                               {Op::kLeaf, 2},
+                               {Op::kLeaf, 3}});
+  EXPECT_DOUBLE_EQ(eval.value_at_root(0), 6.0);
+  eval.set_leaf(2, 10);
+  eval.evaluate();
+  EXPECT_DOUBLE_EQ(eval.value_at_root(0), 14.0);
+}
+
+TEST(ExpressionEval, ReEvaluateAfterStructuralUpdate) {
+  // Sum tree; cut a subtree off and re-evaluate.
+  forest::Forest f = forest::build_balanced(13, 3);
+  ContractionForest c(13, 3, 21);
+  contract::construct(c, f);
+  std::vector<ExprNode> nodes(13);
+  for (VertexId v = 0; v < 13; ++v) {
+    nodes[v] = f.is_leaf(v) ? ExprNode{Op::kLeaf, 1.0}
+                            : ExprNode{Op::kAdd, 0};
+  }
+  ExpressionEvaluator eval(c, nodes);
+  const double before = eval.value_at_root(0);
+
+  forest::ChangeSet m;
+  m.del_edge(1, 0);  // detach subtree rooted at 1
+  contract::modify_contraction(c, m);
+  eval.evaluate();
+  const double detached = eval.value_at_root(1);
+  EXPECT_DOUBLE_EQ(eval.value_at_root(0) + detached, before);
+}
+
+}  // namespace
+}  // namespace parct

@@ -1,0 +1,115 @@
+// Tests for the Forest representation and validation helpers.
+#include <gtest/gtest.h>
+
+#include "forest/forest.hpp"
+#include "forest/validation.hpp"
+
+namespace parct::forest {
+namespace {
+
+TEST(Forest, FreshForestAllIsolatedRoots) {
+  Forest f(10, 4, 10);
+  EXPECT_EQ(f.num_present(), 10u);
+  EXPECT_EQ(f.num_edges(), 0u);
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_TRUE(f.present(v));
+    EXPECT_TRUE(f.is_root(v));
+    EXPECT_TRUE(f.is_isolated(v));
+  }
+  EXPECT_FALSE(check_forest(f).has_value());
+}
+
+TEST(Forest, PartialPresence) {
+  Forest f(10, 4, 6);
+  EXPECT_TRUE(f.present(5));
+  EXPECT_FALSE(f.present(6));
+  f.add_vertex(8);
+  EXPECT_TRUE(f.present(8));
+  EXPECT_EQ(f.num_present(), 7u);
+  f.remove_vertex(8);
+  EXPECT_FALSE(f.present(8));
+}
+
+TEST(Forest, LinkCutRoundTrip) {
+  Forest f(5, 4, 5);
+  f.link(1, 0);
+  f.link(2, 0);
+  f.link(3, 1);
+  EXPECT_EQ(f.num_edges(), 3u);
+  EXPECT_EQ(f.parent(3), 1u);
+  EXPECT_EQ(f.degree(0), 2);
+  EXPECT_TRUE(f.has_edge(1, 0));
+  EXPECT_FALSE(f.has_edge(0, 1));
+  EXPECT_FALSE(check_forest(f).has_value());
+
+  f.cut(1);
+  EXPECT_TRUE(f.is_root(1));
+  EXPECT_EQ(f.degree(0), 1);
+  EXPECT_EQ(f.num_edges(), 2u);
+  EXPECT_FALSE(check_forest(f).has_value());
+}
+
+TEST(Forest, ChildSlotsReusedAfterCut) {
+  Forest f(8, 2, 8);
+  f.link(1, 0);
+  f.link(2, 0);
+  EXPECT_THROW(f.link(3, 0), std::runtime_error);  // degree bound 2
+  f.cut(1);
+  f.link(3, 0);  // slot freed by cutting 1
+  EXPECT_EQ(f.degree(0), 2);
+  EXPECT_FALSE(check_forest(f).has_value());
+}
+
+TEST(Forest, DegreeBoundValidated) {
+  EXPECT_THROW(Forest(4, 0), std::invalid_argument);
+  EXPECT_THROW(Forest(4, kMaxDegree + 1), std::invalid_argument);
+}
+
+TEST(Forest, EdgesAndRootsEnumeration) {
+  Forest f(6, 4, 6);
+  f.link(1, 0);
+  f.link(2, 1);
+  f.link(4, 3);
+  auto edges = f.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], (Edge{1, 0}));
+  EXPECT_EQ(edges[1], (Edge{2, 1}));
+  EXPECT_EQ(edges[2], (Edge{4, 3}));
+  EXPECT_EQ(f.roots(), (std::vector<VertexId>{0, 3, 5}));
+  EXPECT_EQ(f.vertices().size(), 6u);
+}
+
+TEST(Forest, DepthRootHeight) {
+  Forest f(7, 4, 7);
+  f.link(1, 0);
+  f.link(2, 1);
+  f.link(3, 2);
+  f.link(5, 4);
+  EXPECT_EQ(depth(f, 3), 3u);
+  EXPECT_EQ(depth(f, 0), 0u);
+  EXPECT_EQ(root_of(f, 3), 0u);
+  EXPECT_EQ(root_of(f, 5), 4u);
+  EXPECT_EQ(height(f), 3u);
+}
+
+TEST(Forest, EqualityIgnoresSlotLayout) {
+  Forest a(4, 4, 4), b(4, 4, 4);
+  a.link(1, 0);
+  a.link(2, 0);
+  b.link(2, 0);  // different insertion order -> different slots
+  b.link(1, 0);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(ForestValidation, DetectsInconsistencies) {
+  // check_forest sees cross-link inconsistencies only via direct state
+  // corruption, which the public API prevents; here we at least check the
+  // positive path plus the degree-bound violation path through link().
+  Forest f(3, 1, 3);
+  f.link(1, 0);
+  EXPECT_THROW(f.link(2, 0), std::runtime_error);
+  EXPECT_FALSE(check_forest(f).has_value());
+}
+
+}  // namespace
+}  // namespace parct::forest

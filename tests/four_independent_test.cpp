@@ -1,0 +1,75 @@
+// Tests for the 4-wise independent hash family.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "hashing/four_independent.hpp"
+
+namespace parct::hashing {
+namespace {
+
+TEST(FourIndependentHash, DeterministicAndInField) {
+  FourIndependentHash h(1, 2, 3, 4);
+  const std::uint64_t keys[] = {0, 1, 12345, kMersenne61 - 1};
+  for (std::uint64_t x : keys) {
+    EXPECT_EQ(h(x), h(x));
+    EXPECT_LT(h(x), kMersenne61);
+  }
+}
+
+TEST(FourIndependentHash, KnownPolynomial) {
+  // h(x) = 2x^3 + 3x^2 + 5x + 7 at small x (no wrap-around).
+  FourIndependentHash h(7, 5, 3, 2);
+  EXPECT_EQ(h(0), 7u);
+  EXPECT_EQ(h(1), 17u);
+  EXPECT_EQ(h(2), 16u + 12u + 10u + 7u);
+  EXPECT_EQ(h(10), 2000u + 300u + 50u + 7u);
+}
+
+TEST(FourIndependentHash, CoinBalanced) {
+  SplitMix64 rng(3);
+  int heads = 0;
+  const int kMembers = 300, kKeys = 100;
+  for (int m = 0; m < kMembers; ++m) {
+    FourIndependentHash h = FourIndependentHash::random(rng);
+    for (int k = 0; k < kKeys; ++k) heads += h.coin(k) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / (kMembers * kKeys), 0.5, 0.02);
+}
+
+TEST(FourIndependentHash, FourTupleIndependenceEmpirically) {
+  // Over random members, the 16 outcome combinations of 4 fixed keys
+  // should be ~uniform (1/16 each) — the property 2-wise families lack.
+  SplitMix64 rng(9);
+  const int kMembers = 16000;
+  std::map<int, int> counts;
+  for (int m = 0; m < kMembers; ++m) {
+    FourIndependentHash h = FourIndependentHash::random(rng);
+    const int combo = (h.coin(11) << 3) | (h.coin(222) << 2) |
+                      (h.coin(3333) << 1) | h.coin(44444);
+    ++counts[combo];
+  }
+  EXPECT_EQ(counts.size(), 16u);
+  for (const auto& [combo, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kMembers, 1.0 / 16, 0.01)
+        << "combo " << combo;
+  }
+}
+
+TEST(FourIndependentHash, AdjacentPairEventsNearQuarter) {
+  // P[!coin(x) && coin(x+1)] should be ~1/4 for consecutive keys — the
+  // "compress" pair event on chains.
+  SplitMix64 rng(17);
+  const int kMembers = 4000, kKeys = 50;
+  int hits = 0;
+  for (int m = 0; m < kMembers; ++m) {
+    FourIndependentHash h = FourIndependentHash::random(rng);
+    for (int x = 0; x < kKeys; ++x) {
+      hits += (!h.coin(x) && h.coin(x + 1)) ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / (kMembers * kKeys), 0.25, 0.01);
+}
+
+}  // namespace
+}  // namespace parct::hashing

@@ -1,0 +1,89 @@
+// Tests for the dynamic-update workload generators.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+
+namespace parct::forest {
+namespace {
+
+TEST(Generators, RandomForestHasRequestedTrees) {
+  Forest f = random_forest(1000, 7, 4, 0.4, 5);
+  EXPECT_FALSE(check_forest(f).has_value());
+  EXPECT_EQ(f.roots().size(), 7u);
+  EXPECT_EQ(f.num_present(), 1000u);
+  EXPECT_EQ(f.num_edges(), 1000u - 7u);
+}
+
+TEST(Generators, SelectRandomEdgesDistinctAndPresent) {
+  Forest f = build_tree(500, 4, 0.5, 3);
+  auto edges = select_random_edges(f, 100, 17);
+  EXPECT_EQ(edges.size(), 100u);
+  std::set<VertexId> children;
+  for (const Edge& e : edges) {
+    EXPECT_TRUE(f.has_edge(e.child, e.parent));
+    children.insert(e.child);
+  }
+  EXPECT_EQ(children.size(), 100u);  // distinct edges
+  EXPECT_THROW(select_random_edges(f, 500, 1), std::invalid_argument);
+}
+
+TEST(Generators, DeleteBatchIsValidChangeSet) {
+  Forest f = build_tree(400, 4, 0.6, 9);
+  ChangeSet m = make_delete_batch(f, 50, 21);
+  EXPECT_EQ(m.remove_edges.size(), 50u);
+  EXPECT_FALSE(check_change_set(f, m).has_value());
+}
+
+TEST(Generators, InsertBatchRoundTripsToFullForest) {
+  Forest full = build_tree(400, 4, 0.6, 9);
+  auto [initial, m] = make_insert_batch(full, 50, 22);
+  EXPECT_EQ(initial.num_edges(), full.num_edges() - 50);
+  EXPECT_FALSE(check_change_set(initial, m).has_value());
+  Forest g = apply_change_set(initial, m);
+  EXPECT_TRUE(g == full);
+}
+
+TEST(Generators, MixedBatchValid) {
+  Forest full = build_tree(600, 4, 0.3, 2);
+  auto [initial, m] = make_mixed_batch(full, 20, 30, 5);
+  EXPECT_EQ(m.add_edges.size(), 20u);
+  EXPECT_EQ(m.remove_edges.size(), 30u);
+  EXPECT_FALSE(check_change_set(initial, m).has_value());
+}
+
+TEST(Generators, MixedBatchNoOverlapBetweenInsertAndDelete) {
+  Forest full = build_tree(300, 4, 0.5, 8);
+  auto [initial, m] = make_mixed_batch(full, 40, 40, 6);
+  std::set<VertexId> ins_children, del_children;
+  for (const Edge& e : m.add_edges) ins_children.insert(e.child);
+  for (const Edge& e : m.remove_edges) del_children.insert(e.child);
+  for (VertexId c : ins_children) EXPECT_EQ(del_children.count(c), 0u);
+}
+
+TEST(Generators, VertexBatchValid) {
+  Forest f = build_tree(300, 4, 0.3, 4, /*extra_capacity=*/32);
+  ChangeSet m = make_vertex_batch(f, 10, 10, 13);
+  EXPECT_EQ(m.add_vertices.size(), 10u);
+  EXPECT_EQ(m.remove_vertices.size(), 10u);
+  EXPECT_FALSE(check_change_set(f, m).has_value());
+}
+
+TEST(Generators, VertexBatchRespectsCapacity) {
+  Forest f = build_tree(100, 4, 0.3, 4);  // no spare capacity
+  EXPECT_THROW(make_vertex_batch(f, 5, 0, 1), std::invalid_argument);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  Forest f = build_tree(300, 4, 0.5, 7);
+  auto a = select_random_edges(f, 20, 42);
+  auto b = select_random_edges(f, 20, 42);
+  EXPECT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+}  // namespace
+}  // namespace parct::forest

@@ -1,0 +1,127 @@
+// Tests for the hash family and coin schedule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "hashing/coin_flips.hpp"
+#include "hashing/splitmix64.hpp"
+#include "hashing/two_independent.hpp"
+
+namespace parct::hashing {
+namespace {
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = a.next();
+    EXPECT_EQ(x, b.next());
+  }
+  // Different seeds diverge immediately (overwhelmingly likely).
+  SplitMix64 a2(42);
+  EXPECT_NE(a2.next(), c.next());
+}
+
+TEST(SplitMix64, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(SplitMix64, NextDoubleInUnitInterval) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Mersenne61, MulModSmallCases) {
+  EXPECT_EQ(mul_mod_m61(0, 12345), 0u);
+  EXPECT_EQ(mul_mod_m61(1, 12345), 12345u);
+  EXPECT_EQ(mul_mod_m61(kMersenne61 - 1, 1), kMersenne61 - 1);
+  // (p-1)^2 mod p = 1.
+  EXPECT_EQ(mul_mod_m61(kMersenne61 - 1, kMersenne61 - 1), 1u);
+}
+
+TEST(Mersenne61, AddModWraps) {
+  EXPECT_EQ(add_mod_m61(kMersenne61 - 1, 1), 0u);
+  EXPECT_EQ(add_mod_m61(kMersenne61 - 1, 5), 4u);
+}
+
+TEST(TwoIndependentHash, DeterministicPerParams) {
+  TwoIndependentHash h(123456789, 987654321);
+  EXPECT_EQ(h(42), h(42));
+  EXPECT_EQ(h.a(), 123456789u);
+}
+
+TEST(TwoIndependentHash, CoinRoughlyBalanced) {
+  SplitMix64 rng(99);
+  // Over random members, each key's coin should be heads about half the
+  // time (2-wise independence implies 1-wise uniformity up to O(1/p)).
+  const int kMembers = 200;
+  const int kKeys = 200;
+  int heads = 0;
+  for (int m = 0; m < kMembers; ++m) {
+    TwoIndependentHash h = TwoIndependentHash::random(rng);
+    for (int k = 0; k < kKeys; ++k) heads += h.coin(k) ? 1 : 0;
+  }
+  const double frac = static_cast<double>(heads) / (kMembers * kKeys);
+  EXPECT_NEAR(frac, 0.5, 0.02);
+}
+
+TEST(TwoIndependentHash, PairwiseCoinIndependenceEmpirically) {
+  SplitMix64 rng(123);
+  // For fixed key pair (x, y), over random members the four coin-outcome
+  // combinations should each occur ~1/4 of the time.
+  const int kMembers = 4000;
+  std::map<std::pair<bool, bool>, int> counts;
+  for (int m = 0; m < kMembers; ++m) {
+    TwoIndependentHash h = TwoIndependentHash::random(rng);
+    counts[{h.coin(1001), h.coin(77)}]++;
+  }
+  for (const auto& [combo, count] : counts) {
+    EXPECT_NEAR(static_cast<double>(count) / kMembers, 0.25, 0.05);
+  }
+}
+
+TEST(CoinSchedule, DeterministicInSeed) {
+  CoinSchedule a(555), b(555), c(556);
+  a.ensure_rounds(100);
+  b.ensure_rounds(100);
+  c.ensure_rounds(100);
+  int diffs = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::uint64_t v = 0; v < 50; ++v) {
+      EXPECT_EQ(a.heads(i, v), b.heads(i, v));
+      diffs += a.heads(i, v) != c.heads(i, v) ? 1 : 0;
+    }
+  }
+  EXPECT_GT(diffs, 1000);  // different seeds give different schedules
+}
+
+TEST(CoinSchedule, LazyGrowthPreservesPrefix) {
+  CoinSchedule a(77);
+  a.ensure_rounds(10);
+  std::vector<bool> before;
+  for (std::size_t i = 0; i < 10; ++i) before.push_back(a.heads(i, 3));
+  a.ensure_rounds(500);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(a.heads(i, 3), before[i]);
+  EXPECT_GE(a.available_rounds(), 500u);
+}
+
+TEST(CoinSchedule, RoundsDifferFromEachOther) {
+  CoinSchedule a(1);
+  a.ensure_rounds(64);
+  // Same vertex across rounds should not be constant (w.h.p.).
+  int heads = 0;
+  for (std::size_t i = 0; i < 64; ++i) heads += a.heads(i, 12345) ? 1 : 0;
+  EXPECT_GT(heads, 10);
+  EXPECT_LT(heads, 54);
+}
+
+}  // namespace
+}  // namespace parct::hashing

@@ -1,0 +1,145 @@
+// Tests for MultiHooks fan-out and for incremental RCForest::refresh
+// driven by an event recorder attached to a dynamic update.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+#include "rc/path_aggregate.hpp"
+#include "rc/rc_forest.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using contract::EventHooks;
+using contract::MultiHooks;
+
+struct CountingHooks : EventHooks {
+  std::atomic<std::uint64_t> begun{0}, fin{0}, rake{0}, comp{0}, persist{0};
+  void on_begin(std::size_t) override { begun.fetch_add(1); }
+  void on_finalize(std::uint32_t, VertexId) override { fin.fetch_add(1); }
+  void on_rake(std::uint32_t, VertexId, VertexId) override {
+    rake.fetch_add(1);
+  }
+  void on_compress(std::uint32_t, VertexId, VertexId, VertexId) override {
+    comp.fetch_add(1);
+  }
+  void on_edge_persist(std::uint32_t, VertexId, VertexId) override {
+    persist.fetch_add(1);
+  }
+};
+
+TEST(MultiHooks, FansOutToAllSinksEqually) {
+  forest::Forest f = forest::build_tree(400, 4, 0.5, 2);
+  CountingHooks a, b;
+  MultiHooks multi{&a, &b};
+
+  ContractionForest c(400, 4, 3);
+  contract::construct(c, f, &multi);
+
+  EXPECT_EQ(a.begun.load(), 1u);
+  EXPECT_EQ(a.fin.load() + a.rake.load() + a.comp.load(), 400u);
+  EXPECT_GT(a.persist.load(), 0u);
+  EXPECT_EQ(a.fin.load(), b.fin.load());
+  EXPECT_EQ(a.rake.load(), b.rake.load());
+  EXPECT_EQ(a.comp.load(), b.comp.load());
+  EXPECT_EQ(a.persist.load(), b.persist.load());
+  EXPECT_EQ(a.begun.load(), b.begun.load());
+}
+
+TEST(MultiHooks, AddAfterConstruction) {
+  MultiHooks multi;
+  CountingHooks a;
+  multi.add(&a);
+  forest::Forest f = forest::build_chain(10);
+  ContractionForest c(10, 4, 1);
+  contract::construct(c, f, &multi);
+  EXPECT_EQ(a.fin.load() + a.rake.load() + a.comp.load(), 10u);
+}
+
+TEST(EdgePersistContract, ExactlyOneEdgeEventPerSurvivingNonRoot) {
+  // For every round and every vertex v surviving that round as a
+  // non-root, exactly one of on_edge_persist(v) / on_compress(child=v)
+  // must fire. Verify by counting against the recorded structure.
+  forest::Forest f = forest::build_tree(800, 4, 0.6, 5);
+
+  struct EdgeEventCount : EventHooks {
+    std::mutex mu;
+    std::map<std::pair<std::uint32_t, VertexId>, int> count;
+    void on_edge_persist(std::uint32_t r, VertexId v, VertexId) override {
+      std::lock_guard<std::mutex> lk(mu);
+      ++count[{r, v}];
+    }
+    void on_compress(std::uint32_t r, VertexId, VertexId child,
+                     VertexId) override {
+      std::lock_guard<std::mutex> lk(mu);
+      ++count[{r, child}];
+    }
+  } rec;
+
+  ContractionForest c(800, 4, 7);
+  contract::construct(c, f, &rec);
+
+  for (VertexId v = 0; v < 800; ++v) {
+    for (std::uint32_t i = 0; i + 1 < c.duration(v); ++i) {
+      // v survives round i.
+      const bool non_root_next = c.record(i + 1, v).parent != v;
+      const auto it = rec.count.find({i, v});
+      if (non_root_next) {
+        ASSERT_TRUE(it != rec.count.end() && it->second == 1)
+            << "vertex " << v << " round " << i;
+      } else {
+        ASSERT_TRUE(it == rec.count.end()) << "root " << v << " round " << i;
+      }
+    }
+  }
+}
+
+TEST(RCForestRefresh, IncrementalRefreshViaRecorder) {
+  // Collect the vertices whose events were (re)computed during an update
+  // and refresh only those; queries must match a full rebuild.
+  struct Touched : EventHooks {
+    std::mutex mu;
+    std::vector<VertexId> vs;
+    void note(VertexId v) {
+      std::lock_guard<std::mutex> lk(mu);
+      vs.push_back(v);
+    }
+    void on_finalize(std::uint32_t, VertexId v) override { note(v); }
+    void on_rake(std::uint32_t, VertexId v, VertexId) override { note(v); }
+    void on_compress(std::uint32_t, VertexId v, VertexId,
+                     VertexId) override {
+      note(v);
+    }
+  };
+
+  forest::Forest f = forest::build_tree(600, 4, 0.5, 9, 4);
+  ContractionForest c(f.capacity(), 4, 11);
+  contract::construct(c, f);
+  rc::RCForest rcf(c);
+  contract::DynamicUpdater updater(c);
+
+  forest::Forest cur = f;
+  for (int step = 0; step < 5; ++step) {
+    forest::ChangeSet m = forest::make_delete_batch(cur, 8, 100 + step);
+    Touched touched;
+    updater.apply(m, &touched);
+    cur = forest::apply_change_set(cur, m);
+
+    rcf.refresh(touched.vs);
+    rc::RCForest full(c);  // fresh rebuild as the oracle
+    for (VertexId v = 0; v < 600; ++v) {
+      ASSERT_EQ(rcf.root(v), full.root(v)) << "step " << step << " v " << v;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parct

@@ -1,0 +1,172 @@
+// Tests for self-adjusting expression evaluation: agreement with the
+// O(n) replay evaluator after construction and after batched structural
+// edits, on hand-built and random expression forests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+#include "hashing/splitmix64.hpp"
+#include "rc/incremental_expression.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using contract::DynamicUpdater;
+using forest::ChangeSet;
+using forest::Forest;
+using rc::ExprNode;
+using rc::IncrementalExpression;
+using rc::Op;
+
+double reference_eval(const Forest& f, const IncrementalExpression& expr,
+                      VertexId v) {
+  const ExprNode& node = expr.node(v);
+  if (node.op == Op::kLeaf) return node.value;
+  double acc = node.op == Op::kMul ? 1.0 : 0.0;
+  for (VertexId u : f.children(v)) {
+    if (u == kNoVertex) continue;
+    const double x = reference_eval(f, expr, u);
+    acc = node.op == Op::kMul ? acc * x : acc + x;
+  }
+  return acc;
+}
+
+TEST(IncrementalExpression, MatchesReplayOnConstruction) {
+  // ((1+2) * (3+5)) + 4 — same tree as the replay evaluator's test.
+  Forest f(5, 4, 5);
+  f.link(1, 0);
+  f.link(4, 0);
+  f.link(2, 1);
+  f.link(3, 1);
+  ContractionForest c(5, 4, 9);
+  IncrementalExpression expr(c);
+  expr.stage_node(0, {Op::kAdd, 0});   // 0 = mul(5, 6) + 2
+  expr.stage_node(1, {Op::kMul, 0});   // children: leaves 2, 3
+  expr.stage_node(2, {Op::kLeaf, 5});
+  expr.stage_node(3, {Op::kLeaf, 6});
+  expr.stage_node(4, {Op::kLeaf, 2});
+  contract::construct(c, f, &expr);
+  EXPECT_DOUBLE_EQ(expr.value(0), 32.0);
+}
+
+TEST(IncrementalExpression, DeepChainLinearComposition) {
+  const std::size_t n = 150;
+  Forest f = forest::build_chain(n);
+  ContractionForest c(n, 4, 13);
+  IncrementalExpression expr(c);
+  for (VertexId v = 0; v + 1 < n; ++v) expr.stage_node(v, {Op::kAdd, 0});
+  expr.stage_node(static_cast<VertexId>(n - 1), {Op::kLeaf, 2.5});
+  contract::construct(c, f, &expr);
+  EXPECT_DOUBLE_EQ(expr.value(77), 2.5);
+}
+
+TEST(IncrementalExpression, RandomTreesMatchReference) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::size_t n = 600;
+    Forest f = forest::build_tree(n, 4, 0.45, seed);
+    ContractionForest c(n, 4, seed + 100);
+    IncrementalExpression expr(c);
+    hashing::SplitMix64 rng(seed);
+    for (VertexId v = 0; v < n; ++v) {
+      if (f.is_leaf(v)) {
+        expr.stage_node(v, {Op::kLeaf, 0.5 + rng.next_double()});
+      } else {
+        expr.stage_node(v, {rng.next_bool() ? Op::kAdd : Op::kMul, 0});
+      }
+    }
+    contract::construct(c, f, &expr);
+    const double expected = reference_eval(f, expr, 0);
+    EXPECT_NEAR(expr.value(0), expected,
+                std::abs(expected) * 1e-9 + 1e-12)
+        << "seed " << seed;
+  }
+}
+
+TEST(IncrementalExpression, IncrementalGraftAndPrune) {
+  // Sum forest; graft and prune subexpressions dynamically and compare
+  // with the recursive reference each step.
+  const std::size_t n = 200;
+  Forest cur = forest::build_tree(n, 4, 0.5, 7, /*extra_capacity=*/20);
+  ContractionForest c(cur.capacity(), 4, 77);
+  IncrementalExpression expr(c);
+  hashing::SplitMix64 rng(5);
+  for (VertexId v = 0; v < n; ++v) {
+    if (cur.is_leaf(v)) {
+      expr.stage_node(v, {Op::kLeaf, 1.0 + rng.next_below(4)});
+    } else {
+      expr.stage_node(v, {Op::kAdd, 0});
+    }
+  }
+  contract::construct(c, cur, &expr);
+  DynamicUpdater updater(c);
+
+  // Graft three new leaves under internal vertices (ADD arity grows).
+  VertexId next = static_cast<VertexId>(n);
+  for (int step = 0; step < 3; ++step) {
+    VertexId parent = kNoVertex;
+    for (VertexId p = 0; p < n; ++p) {
+      if (cur.present(p) && !cur.is_leaf(p) &&
+          cur.degree(p) < cur.degree_bound()) {
+        parent = p;
+        break;
+      }
+    }
+    ASSERT_NE(parent, kNoVertex);
+    ChangeSet m;
+    m.ins_vertex(next).ins_edge(next, parent);
+    expr.stage_node(next, {Op::kLeaf, 10.0 * (step + 1)});
+    ASSERT_FALSE(forest::check_change_set(cur, m).has_value());
+    updater.apply(m, &expr);
+    cur = forest::apply_change_set(cur, m);
+    ++next;
+
+    for (VertexId r : cur.roots()) {
+      ASSERT_NEAR(expr.value(r), reference_eval(cur, expr, r), 1e-9)
+          << "graft step " << step;
+    }
+  }
+
+  // Prune: detach a subtree; both halves must evaluate correctly.
+  VertexId cut = kNoVertex;
+  for (VertexId v = 0; v < n; ++v) {
+    if (cur.present(v) && !cur.is_root(v) && !cur.is_leaf(v)) {
+      cut = v;
+      break;
+    }
+  }
+  ASSERT_NE(cut, kNoVertex);
+  ChangeSet prune;
+  prune.del_edge(cut, cur.parent(cut));
+  updater.apply(prune, &expr);
+  cur = forest::apply_change_set(cur, prune);
+  for (VertexId r : cur.roots()) {
+    ASSERT_NEAR(expr.value(r), reference_eval(cur, expr, r), 1e-9);
+  }
+}
+
+TEST(IncrementalExpression, RebuildAfterLeafConstantChange) {
+  Forest f(4, 4, 4);
+  f.link(1, 0);
+  f.link(2, 0);
+  f.link(3, 0);
+  ContractionForest c(4, 4, 5);
+  IncrementalExpression expr(c);
+  expr.stage_node(0, {Op::kAdd, 0});
+  expr.stage_node(1, {Op::kLeaf, 1});
+  expr.stage_node(2, {Op::kLeaf, 2});
+  expr.stage_node(3, {Op::kLeaf, 3});
+  contract::construct(c, f, &expr);
+  EXPECT_DOUBLE_EQ(expr.value(0), 6.0);
+
+  expr.stage_node(2, {Op::kLeaf, 20});
+  expr.rebuild();
+  EXPECT_DOUBLE_EQ(expr.value(0), 24.0);
+}
+
+}  // namespace
+}  // namespace parct

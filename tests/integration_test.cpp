@@ -1,0 +1,143 @@
+// End-to-end integration tests: long interleavings of construction,
+// batched updates, validity checks and application-level queries — the
+// full public API exercised together, across worker counts.
+#include <gtest/gtest.h>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "contraction/validate.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+#include "parallel/scheduler.hpp"
+#include "rc/rc_forest.hpp"
+#include "rc/tree_aggregate.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using contract::DynamicUpdater;
+using forest::ChangeSet;
+using forest::Forest;
+
+class IntegrationWorkers : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { par::scheduler::initialize(GetParam()); }
+  void TearDown() override { par::scheduler::initialize(1); }
+};
+
+TEST_P(IntegrationWorkers, LongMixedSession) {
+  const std::size_t n = 1200;
+  Forest full = forest::build_tree(n, 4, 0.5, 77, /*extra_capacity=*/64);
+  ContractionForest c(full.capacity(), 4, 4242);
+  contract::construct(c, full);
+  DynamicUpdater updater(c);
+  Forest cur = full;
+  hashing::SplitMix64 rng(31337);
+
+  for (int step = 0; step < 15; ++step) {
+    ChangeSet m;
+    switch (step % 4) {
+      case 0:
+        m = forest::make_delete_batch(cur, 1 + rng.next_below(15),
+                                      rng.next());
+        break;
+      case 1: {
+        // Re-link some trees: cut edges then re-add them reversed where
+        // legal; simplest valid move set: delete then, next step, rebuild.
+        m = forest::make_delete_batch(cur, 1 + rng.next_below(8),
+                                      rng.next());
+        break;
+      }
+      case 2: {
+        // Insert edges between roots (merges trees, always acyclic).
+        auto roots = cur.roots();
+        if (roots.size() >= 2) {
+          for (std::size_t k = 0; k + 1 < std::min<std::size_t>(
+                   roots.size(), 6); k += 2) {
+            if (cur.degree(roots[k]) < cur.degree_bound()) {
+              m.ins_edge(roots[k + 1], roots[k]);
+            }
+          }
+        }
+        break;
+      }
+      default:
+        m = forest::make_vertex_batch(cur, 1 + rng.next_below(4), 0,
+                                      rng.next());
+        break;
+    }
+    if (m.empty()) continue;
+    ASSERT_FALSE(forest::check_change_set(cur, m).has_value());
+    updater.apply(m);
+    cur = forest::apply_change_set(cur, m);
+
+    // Full validity against the independent simulator every few steps
+    // (it is O(n) per check).
+    if (step % 5 == 4) {
+      auto err = contract::check_valid(c, cur);
+      ASSERT_FALSE(err.has_value()) << *err << " at step " << step;
+    }
+  }
+  // Final: from-scratch equivalence.
+  ContractionForest oracle(cur.capacity(), 4, 4242);
+  contract::construct(oracle, cur);
+  EXPECT_TRUE(contract::structurally_equal(c, oracle));
+}
+
+TEST_P(IntegrationWorkers, QueriesTrackStructure) {
+  const std::size_t n = 800;
+  Forest cur = forest::random_forest(n, 4, 4, 0.4, 5);
+  ContractionForest c(cur.capacity(), 4, 99);
+  contract::construct(c, cur);
+  DynamicUpdater updater(c);
+
+  hashing::SplitMix64 rng(17);
+  for (int step = 0; step < 8; ++step) {
+    ChangeSet m = forest::make_delete_batch(cur, 5, rng.next());
+    updater.apply(m);
+    cur = forest::apply_change_set(cur, m);
+
+    rc::RCForest rcf(c);
+    rc::TreeAggregate<long> agg(rcf, std::vector<long>(cur.capacity(), 1));
+    std::vector<long> size_by_root(cur.capacity(), 0);
+    for (VertexId v = 0; v < cur.capacity(); ++v) {
+      if (cur.present(v)) ++size_by_root[forest::root_of(cur, v)];
+    }
+    for (int q = 0; q < 100; ++q) {
+      const VertexId v = static_cast<VertexId>(rng.next_below(n));
+      EXPECT_EQ(rcf.root(v), forest::root_of(cur, v));
+      EXPECT_EQ(agg.tree_weight(v), size_by_root[forest::root_of(cur, v)]);
+    }
+  }
+}
+
+TEST_P(IntegrationWorkers, UpdateThenUpdateBackRestoresStructure) {
+  // Applying a batch and then its inverse must reproduce the original
+  // structure bit-for-bit (same coin schedule throughout).
+  Forest full = forest::build_tree(1000, 4, 0.6, 13);
+  ContractionForest original(full.capacity(), 4, 321);
+  contract::construct(original, full);
+
+  ContractionForest c(full.capacity(), 4, 321);
+  contract::construct(c, full);
+  DynamicUpdater updater(c);
+
+  ChangeSet m = forest::make_delete_batch(full, 60, 7);
+  updater.apply(m);
+  ChangeSet inverse;
+  inverse.add_edges = m.remove_edges;
+  updater.apply(inverse);
+
+  EXPECT_TRUE(contract::structurally_equal(c, original));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, IntegrationWorkers,
+                         ::testing::Values(1u, 3u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace parct

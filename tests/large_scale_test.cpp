@@ -1,0 +1,125 @@
+// Larger-scale from-scratch equivalence and invariants: the oracle sweep
+// at n = 30000 with batch sizes spanning the m << n and m ~ n regimes,
+// plus space/round sanity at scale. (The exhaustive small-scale sweeps
+// live in dynamic_update_test.cpp; these catch size-dependent bugs —
+// epoch handling, capacity growth, allocator interactions.)
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using contract::DynamicUpdater;
+using forest::ChangeSet;
+using forest::Forest;
+
+struct LargeCase {
+  const char* shape;
+  std::size_t batch;
+};
+
+class LargeScale : public ::testing::TestWithParam<LargeCase> {};
+
+TEST_P(LargeScale, InsertAndDeleteEquivalence) {
+  const std::size_t n = 30000;
+  const LargeCase& p = GetParam();
+  Forest full = std::string(p.shape) == "binary"
+                    ? forest::build_perfect_binary((1 << 15) - 1)
+                    : forest::build_tree(
+                          n, 4,
+                          std::string(p.shape) == "cf10" ? 1.0 : 0.6, 71);
+
+  // Insert direction.
+  {
+    auto [initial, m] = forest::make_insert_batch(full, p.batch, 5);
+    ContractionForest c(full.capacity(), full.degree_bound(), 901);
+    contract::construct(c, initial);
+    DynamicUpdater updater(c);
+    const contract::UpdateStats stats = updater.apply(m);
+    ContractionForest oracle(full.capacity(), full.degree_bound(), 901);
+    contract::construct(oracle, full);
+    ASSERT_TRUE(contract::structurally_equal(c, oracle));
+    // Work sanity: affected region bounded well below full reconstruction
+    // for small batches (Theorem 2 with slack 32).
+    const double bound =
+        static_cast<double>(p.batch) *
+        std::max(1.0, std::log2(static_cast<double>(n + p.batch) /
+                                p.batch));
+    EXPECT_LT(static_cast<double>(stats.total_affected), 32 * bound + 256);
+  }
+  // Delete direction.
+  {
+    ChangeSet m = forest::make_delete_batch(full, p.batch, 6);
+    ContractionForest c(full.capacity(), full.degree_bound(), 902);
+    contract::construct(c, full);
+    DynamicUpdater updater(c);
+    updater.apply(m);
+    Forest after = forest::apply_change_set(full, m);
+    ContractionForest oracle(after.capacity(), full.degree_bound(), 902);
+    contract::construct(oracle, after);
+    ASSERT_TRUE(contract::structurally_equal(c, oracle));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, LargeScale,
+    ::testing::Values(LargeCase{"cf06", 1}, LargeCase{"cf06", 100},
+                      LargeCase{"cf06", 5000}, LargeCase{"binary", 100},
+                      LargeCase{"binary", 5000}, LargeCase{"cf10", 100},
+                      LargeCase{"cf10", 2000}),
+    [](const ::testing::TestParamInfo<LargeCase>& info) {
+      return std::string(info.param.shape) + "_b" +
+             std::to_string(info.param.batch);
+    });
+
+TEST(LargeScale, SpaceStaysLinearUnderChurn) {
+  const std::size_t n = 20000;
+  Forest full = forest::build_tree(n, 4, 0.6, 3, 8);
+  ContractionForest c(full.capacity(), 4, 55);
+  contract::construct(c, full);
+  DynamicUpdater updater(c);
+  Forest cur = full;
+  hashing::SplitMix64 rng(1);
+  for (int step = 0; step < 30; ++step) {
+    ChangeSet del = forest::make_delete_batch(cur, 200, rng.next());
+    updater.apply(del);
+    cur = forest::apply_change_set(cur, del);
+    ChangeSet ins;
+    ins.add_edges = del.remove_edges;
+    updater.apply(ins);
+    cur = forest::apply_change_set(cur, ins);
+  }
+  // After 30 churn cycles the stored records must still be O(n), not
+  // accumulating garbage rounds.
+  EXPECT_LT(c.total_records(), 12 * n);
+  EXPECT_LT(c.num_rounds(), 80u);
+}
+
+TEST(LargeScale, ParallelUpdateMatchesAtScale) {
+  const std::size_t n = 30000;
+  Forest full = forest::build_tree(n, 4, 0.6, 9, 8);
+  auto [initial, m] = forest::make_insert_batch(full, 2000, 2);
+
+  par::scheduler::initialize(4);
+  ContractionForest c4(full.capacity(), 4, 303);
+  contract::construct(c4, initial);
+  contract::modify_contraction(c4, m);
+  par::scheduler::initialize(1);
+
+  ContractionForest c1(full.capacity(), 4, 303);
+  contract::construct(c1, initial);
+  contract::modify_contraction(c1, m);
+  EXPECT_TRUE(contract::structurally_equal(c1, c4));
+}
+
+}  // namespace
+}  // namespace parct

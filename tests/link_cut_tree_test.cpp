@@ -1,0 +1,101 @@
+// Tests for the sequential Link-Cut Tree baseline, including randomized
+// cross-checking against the plain Forest representation.
+#include <gtest/gtest.h>
+
+#include "baseline/link_cut_tree.hpp"
+#include "forest/forest.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+#include "hashing/splitmix64.hpp"
+
+namespace parct::baseline {
+namespace {
+
+TEST(LinkCutTree, SingletonsAreTheirOwnRoots) {
+  LinkCutTree lct(5);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(lct.find_root(v), v);
+    EXPECT_EQ(lct.depth(v), 0u);
+    EXPECT_TRUE(lct.is_root(v));
+  }
+  EXPECT_FALSE(lct.connected(0, 1));
+}
+
+TEST(LinkCutTree, LinkThenQuery) {
+  LinkCutTree lct(6);
+  lct.link(1, 0);
+  lct.link(2, 1);
+  lct.link(3, 1);
+  lct.link(5, 4);
+  EXPECT_EQ(lct.find_root(3), 0u);
+  EXPECT_EQ(lct.find_root(2), 0u);
+  EXPECT_EQ(lct.find_root(5), 4u);
+  EXPECT_TRUE(lct.connected(2, 3));
+  EXPECT_FALSE(lct.connected(2, 5));
+  EXPECT_EQ(lct.depth(2), 2u);
+  EXPECT_EQ(lct.depth(0), 0u);
+}
+
+TEST(LinkCutTree, CutSplits) {
+  LinkCutTree lct(6);
+  for (VertexId v = 1; v < 6; ++v) lct.link(v, v - 1);  // chain
+  EXPECT_EQ(lct.depth(5), 5u);
+  lct.cut(3);
+  EXPECT_EQ(lct.find_root(5), 3u);
+  EXPECT_EQ(lct.find_root(2), 0u);
+  EXPECT_FALSE(lct.connected(2, 3));
+  EXPECT_EQ(lct.depth(5), 2u);
+  lct.link(3, 2);  // relink
+  EXPECT_TRUE(lct.connected(0, 5));
+  EXPECT_EQ(lct.depth(5), 5u);
+}
+
+TEST(LinkCutTree, DeepChainOperations) {
+  const std::size_t n = 20000;
+  LinkCutTree lct(n);
+  for (VertexId v = 1; v < n; ++v) lct.link(v, v - 1);
+  EXPECT_EQ(lct.find_root(n - 1), 0u);
+  EXPECT_EQ(lct.depth(n - 1), n - 1);
+  lct.cut(n / 2);
+  EXPECT_EQ(lct.find_root(n - 1), n / 2);
+}
+
+TEST(LinkCutTree, MirrorsForestUnderRandomOps) {
+  const std::size_t n = 2000;
+  forest::Forest f(n, 8, n);
+  LinkCutTree lct(n);
+  hashing::SplitMix64 rng(12345);
+
+  std::vector<VertexId> non_roots;
+  for (int op = 0; op < 20000; ++op) {
+    const bool do_cut = !non_roots.empty() && rng.next_below(100) < 40;
+    if (do_cut) {
+      const std::size_t k = rng.next_below(non_roots.size());
+      const VertexId c = non_roots[k];
+      non_roots[k] = non_roots.back();
+      non_roots.pop_back();
+      f.cut(c);
+      lct.cut(c);
+    } else {
+      const VertexId c = static_cast<VertexId>(rng.next_below(n));
+      const VertexId p = static_cast<VertexId>(rng.next_below(n));
+      if (!f.is_root(c) || c == p) continue;
+      if (forest::root_of(f, p) == c) continue;  // would create a cycle
+      if (f.degree(p) >= f.degree_bound()) continue;
+      f.link(c, p);
+      lct.link(c, p);
+      non_roots.push_back(c);
+    }
+    if (op % 500 == 0) {
+      for (int q = 0; q < 50; ++q) {
+        const VertexId v = static_cast<VertexId>(rng.next_below(n));
+        ASSERT_EQ(lct.find_root(v), forest::root_of(f, v))
+            << "op " << op << " vertex " << v;
+        ASSERT_EQ(lct.depth(v), forest::depth(f, v));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parct::baseline

@@ -1,0 +1,101 @@
+// Determinism of the full pipeline across worker counts: construction and
+// dynamic updates must produce bit-for-bit (slot-insensitively) identical
+// structures no matter how many workers execute them, including with tiny
+// grain sizes that force deep task trees and real stealing.
+#include <gtest/gtest.h>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using forest::ChangeSet;
+using forest::Forest;
+
+class WorkerSweep : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void TearDown() override { par::scheduler::initialize(1); }
+};
+
+// Reference structures computed once at one worker.
+struct Reference {
+  Forest initial;
+  ChangeSet batch;
+  ContractionForest after_update;
+
+  static const Reference& get() {
+    static Reference* ref = [] {
+      par::scheduler::initialize(1);
+      Forest full = forest::build_tree(4000, 4, 0.6, 31, 16);
+      auto [initial, batch] = forest::make_insert_batch(full, 60, 5);
+      // Also add one fresh vertex under some parent with a spare slot in
+      // the edited forest.
+      Forest edited = forest::apply_change_set(initial, batch);
+      for (VertexId p = 0; p < 4000; ++p) {
+        if (edited.degree(p) < edited.degree_bound()) {
+          batch.add_vertices.push_back(4005);
+          batch.add_edges.push_back({4005, p});
+          break;
+        }
+      }
+      auto* r = new Reference{std::move(initial), std::move(batch),
+                              ContractionForest(full.capacity(), 4, 97)};
+      contract::construct(r->after_update, r->initial);
+      contract::modify_contraction(r->after_update, r->batch);
+      return r;
+    }();
+    return *ref;
+  }
+};
+
+TEST_P(WorkerSweep, ConstructPlusUpdateIdentical) {
+  const Reference& ref = Reference::get();
+  par::scheduler::initialize(GetParam());
+  ContractionForest c(ref.initial.capacity(), 4, 97);
+  contract::construct(c, ref.initial);
+  contract::DynamicUpdater updater(c);
+  updater.apply(ref.batch);
+  EXPECT_TRUE(contract::structurally_equal(c, ref.after_update));
+}
+
+TEST_P(WorkerSweep, RepeatedUpdatesStayIdentical) {
+  const Reference& ref = Reference::get();
+  par::scheduler::initialize(GetParam());
+
+  ContractionForest c(ref.initial.capacity(), 4, 97);
+  contract::construct(c, ref.initial);
+  contract::DynamicUpdater updater(c);
+  Forest cur = ref.initial;
+  hashing::SplitMix64 rng(8);
+  for (int step = 0; step < 5; ++step) {
+    ChangeSet m = forest::make_delete_batch(cur, 20, 1000 + step);
+    updater.apply(m);
+    cur = forest::apply_change_set(cur, m);
+  }
+  // Compare against a single-worker replay of the same sequence.
+  par::scheduler::initialize(1);
+  ContractionForest c1(ref.initial.capacity(), 4, 97);
+  contract::construct(c1, ref.initial);
+  contract::DynamicUpdater updater1(c1);
+  Forest cur1 = ref.initial;
+  for (int step = 0; step < 5; ++step) {
+    ChangeSet m = forest::make_delete_batch(cur1, 20, 1000 + step);
+    updater1.apply(m);
+    cur1 = forest::apply_change_set(cur1, m);
+  }
+  EXPECT_TRUE(contract::structurally_equal(c, c1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, WorkerSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace parct

@@ -1,0 +1,167 @@
+// Tests for the RC-forest application layer: root/connectivity queries,
+// O(log n) chains, and per-tree aggregates — including after dynamic
+// updates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/validation.hpp"
+#include "rc/rc_forest.hpp"
+#include "rc/tree_aggregate.hpp"
+#include "test_util.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using rc::EventKind;
+using rc::RCForest;
+
+ContractionForest build(const forest::Forest& f, std::uint64_t seed) {
+  ContractionForest c(f.capacity(), f.degree_bound(), seed);
+  contract::construct(c, f);
+  return c;
+}
+
+class RCForestShapes : public ::testing::TestWithParam<test::Shape> {};
+
+TEST_P(RCForestShapes, RootMatchesForestRoot) {
+  forest::Forest f = GetParam().build(2000, 3, 0);
+  ContractionForest c = build(f, 71);
+  RCForest rcf(c);
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (!f.present(v)) {
+      EXPECT_FALSE(rcf.present(v));
+      continue;
+    }
+    EXPECT_EQ(rcf.root(v), forest::root_of(f, v)) << "vertex " << v;
+  }
+}
+
+TEST_P(RCForestShapes, ConnectivityMatchesBruteForce) {
+  forest::Forest f = GetParam().build(500, 9, 0);
+  ContractionForest c = build(f, 72);
+  RCForest rcf(c);
+  hashing::SplitMix64 rng(4);
+  for (int q = 0; q < 500; ++q) {
+    const VertexId u = static_cast<VertexId>(rng.next_below(f.capacity()));
+    const VertexId v = static_cast<VertexId>(rng.next_below(f.capacity()));
+    if (!f.present(u) || !f.present(v)) continue;
+    EXPECT_EQ(rcf.connected(u, v),
+              forest::root_of(f, u) == forest::root_of(f, v));
+  }
+}
+
+TEST_P(RCForestShapes, ChainsAreLogarithmic) {
+  const std::size_t n = 30000;
+  forest::Forest f = GetParam().build(n, 5, 0);
+  ContractionForest c = build(f, 73);
+  RCForest rcf(c);
+  const double logn = std::log2(static_cast<double>(n));
+  std::size_t worst = 0;
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (f.present(v)) worst = std::max(worst, rcf.chain_length(v));
+  }
+  // Chain length <= number of rounds, which is O(log n) w.h.p.
+  EXPECT_LE(worst, static_cast<std::size_t>(12 * logn + 16));
+}
+
+TEST_P(RCForestShapes, RepresentativeDeathRoundsIncrease) {
+  forest::Forest f = GetParam().build(1500, 7, 0);
+  ContractionForest c = build(f, 74);
+  RCForest rcf(c);
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (!f.present(v)) continue;
+    const VertexId r = rcf.representative(v);
+    if (r != kNoVertex) {
+      EXPECT_GT(rcf.event(r).round, rcf.event(v).round);
+    } else {
+      EXPECT_EQ(rcf.event(v).kind, EventKind::kFinalize);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RCForestShapes, ::testing::ValuesIn(test::kShapes),
+    [](const ::testing::TestParamInfo<test::Shape>& info) {
+      return info.param.name;
+    });
+
+TEST(RCForest, StaysCorrectAcrossDynamicUpdates) {
+  forest::Forest full = forest::build_tree(800, 4, 0.5, 6, 8);
+  ContractionForest c(full.capacity(), 4, 75);
+  contract::construct(c, full);
+  contract::DynamicUpdater updater(c);
+  RCForest rcf(c);
+
+  forest::Forest cur = full;
+  for (int step = 0; step < 6; ++step) {
+    forest::ChangeSet m = forest::make_delete_batch(cur, 10, 100 + step);
+    updater.apply(m);
+    cur = forest::apply_change_set(cur, m);
+    rcf.rebuild();
+    hashing::SplitMix64 rng(step);
+    for (int q = 0; q < 200; ++q) {
+      const VertexId u = static_cast<VertexId>(rng.next_below(800));
+      EXPECT_EQ(rcf.root(u), forest::root_of(cur, u));
+    }
+  }
+}
+
+TEST(RCForest, TreeAggregateCountsVertices) {
+  forest::Forest f = forest::random_forest(600, 6, 4, 0.4, 8);
+  ContractionForest c = build(f, 76);
+  RCForest rcf(c);
+  std::vector<long> ones(f.capacity(), 1);
+  rc::TreeAggregate<long> agg(rcf, ones);
+
+  // Count tree sizes by brute force.
+  std::vector<long> size_by_root(f.capacity(), 0);
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (f.present(v)) ++size_by_root[forest::root_of(f, v)];
+  }
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (!f.present(v)) continue;
+    EXPECT_EQ(agg.tree_weight(v), size_by_root[forest::root_of(f, v)]);
+  }
+}
+
+TEST(RCForest, TreeAggregateWeightUpdates) {
+  forest::Forest f = forest::build_tree(300, 4, 0.6, 3);
+  ContractionForest c = build(f, 77);
+  RCForest rcf(c);
+  std::vector<long> w(f.capacity(), 2);
+  rc::TreeAggregate<long> agg(rcf, w);
+  EXPECT_EQ(agg.tree_weight(17), 600);
+
+  agg.set_weight(42, 100);  // +98
+  EXPECT_EQ(agg.tree_weight(17), 698);
+  EXPECT_EQ(agg.weight(42), 100);
+
+  agg.set_weight(42, 0);  // back down
+  EXPECT_EQ(agg.tree_weight(0), 598);
+}
+
+TEST(RCForest, TreeAggregateAfterStructuralUpdate) {
+  forest::Forest f = forest::build_chain(100);
+  ContractionForest c = build(f, 78);
+  contract::DynamicUpdater updater(c);
+
+  forest::ChangeSet m;
+  m.del_edge(50, 49);  // split into [0..49] and [50..99]
+  updater.apply(m);
+
+  RCForest rcf(c);
+  std::vector<long> ones(100, 1);
+  rc::TreeAggregate<long> agg(rcf, ones);
+  EXPECT_EQ(agg.tree_weight(10), 50);
+  EXPECT_EQ(agg.tree_weight(75), 50);
+  EXPECT_FALSE(rcf.connected(49, 50));
+  EXPECT_TRUE(rcf.connected(0, 49));
+}
+
+}  // namespace
+}  // namespace parct

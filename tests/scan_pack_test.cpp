@@ -1,0 +1,122 @@
+// Tests for the prefix-sum and compaction primitives.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "hashing/splitmix64.hpp"
+#include "parallel/scheduler.hpp"
+#include "primitives/pack.hpp"
+#include "primitives/scan.hpp"
+#include "primitives/sequence_ops.hpp"
+
+namespace parct::prim {
+namespace {
+
+class ScanPackTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { par::scheduler::initialize(GetParam()); }
+  void TearDown() override { par::scheduler::initialize(1); }
+};
+
+std::vector<std::uint64_t> random_values(std::size_t n, std::uint64_t seed) {
+  hashing::SplitMix64 rng(seed);
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_below(1000);
+  return v;
+}
+
+TEST_P(ScanPackTest, ExclusiveScanMatchesSerial) {
+  for (std::size_t n : {0, 1, 2, 5, 100, 4096, 4097, 100000}) {
+    auto in = random_values(n, n + 1);
+    std::vector<std::uint64_t> expected(n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      expected[i] = acc;
+      acc += in[i];
+    }
+    std::vector<std::uint64_t> out;
+    const std::uint64_t total = exclusive_scan(in, out);
+    EXPECT_EQ(total, acc) << "n=" << n;
+    EXPECT_EQ(out, expected) << "n=" << n;
+  }
+}
+
+TEST_P(ScanPackTest, ExclusiveScanInPlace) {
+  auto v = random_values(50000, 9);
+  auto expected = v;
+  std::uint64_t acc = 0;
+  for (auto& x : expected) {
+    std::uint64_t old = x;
+    x = acc;
+    acc += old;
+  }
+  const std::uint64_t total = exclusive_scan_inplace(v);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(v, expected);
+}
+
+TEST_P(ScanPackTest, InclusiveScanMatchesSerial) {
+  for (std::size_t n : {0, 1, 17, 8192, 65537}) {
+    auto in = random_values(n, n + 3);
+    std::vector<std::uint64_t> expected(n);
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += in[i];
+      expected[i] = acc;
+    }
+    std::vector<std::uint64_t> out(n);
+    const std::uint64_t total = inclusive_scan(in.data(), out.data(), n);
+    EXPECT_EQ(total, acc);
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST_P(ScanPackTest, PackIndexKeepsOrder) {
+  const std::size_t n = 100000;
+  auto keep = [](std::size_t i) { return (i % 7 == 0) || (i % 11 == 3); };
+  auto got = pack_index(n, keep);
+  std::vector<std::uint32_t> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep(i)) expected.push_back(static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ScanPackTest, PackAllAndNone) {
+  auto v = random_values(3000, 4);
+  EXPECT_EQ(pack(v, [](std::size_t) { return true; }), v);
+  EXPECT_TRUE(pack(v, [](std::size_t) { return false; }).empty());
+  EXPECT_TRUE(pack_index(0, [](std::size_t) { return true; }).empty());
+}
+
+TEST_P(ScanPackTest, FilterByValue) {
+  auto v = random_values(50000, 5);
+  auto got = filter(v, [](std::uint64_t x) { return x < 100; });
+  std::vector<std::uint64_t> expected;
+  for (auto x : v) {
+    if (x < 100) expected.push_back(x);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ScanPackTest, SequenceOps) {
+  auto t = tabulate(1000, [](std::size_t i) { return 2 * i; });
+  EXPECT_EQ(t[999], 1998u);
+  EXPECT_EQ(sum(t), 999u * 1000u);
+  EXPECT_EQ(iota(5), (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(count_if_index(1000, [](std::size_t i) { return i % 3 == 0; }),
+            334u);
+  EXPECT_TRUE(all_of_index(100, [](std::size_t i) { return i < 100; }));
+  EXPECT_FALSE(all_of_index(100, [](std::size_t i) { return i < 99; }));
+  std::vector<int> mv{3, -1, 7, 2};
+  EXPECT_EQ(max_value(mv), 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, ScanPackTest, ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace parct::prim

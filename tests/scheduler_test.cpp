@@ -1,0 +1,119 @@
+// Tests for the fork-join work-stealing scheduler.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/fork_join.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace parct::par {
+namespace {
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { scheduler::initialize(1); }
+};
+
+TEST_F(SchedulerTest, SingleWorkerRunsInline) {
+  scheduler::initialize(1);
+  int a = 0, b = 0;
+  fork2join([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST_F(SchedulerTest, ForkJoinBothBranchesRun) {
+  scheduler::initialize(4);
+  std::atomic<int> count{0};
+  fork2join([&] { count.fetch_add(1); }, [&] { count.fetch_add(2); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST_F(SchedulerTest, NestedForksComputeFibonacci) {
+  scheduler::initialize(4);
+  // Recursive fork tree exercises deep nesting and stealing.
+  struct Fib {
+    static long run(int n) {
+      if (n < 2) return n;
+      long x = 0, y = 0;
+      fork2join([&] { x = run(n - 1); }, [&] { y = run(n - 2); });
+      return x + y;
+    }
+  };
+  EXPECT_EQ(Fib::run(20), 6765);
+}
+
+TEST_F(SchedulerTest, ParallelInvokeVariadic) {
+  scheduler::initialize(3);
+  std::atomic<int> mask{0};
+  parallel_invoke([&] { mask.fetch_or(1); }, [&] { mask.fetch_or(2); },
+                  [&] { mask.fetch_or(4); }, [&] { mask.fetch_or(8); },
+                  [&] { mask.fetch_or(16); });
+  EXPECT_EQ(mask.load(), 31);
+}
+
+TEST_F(SchedulerTest, ExceptionFromSecondBranchPropagates) {
+  scheduler::initialize(2);
+  EXPECT_THROW(
+      fork2join([] {}, [] { throw std::runtime_error("branch 2"); }),
+      std::runtime_error);
+}
+
+TEST_F(SchedulerTest, ExceptionFromFirstBranchStillJoins) {
+  scheduler::initialize(2);
+  std::atomic<bool> second_ran{false};
+  EXPECT_THROW(fork2join([] { throw std::logic_error("branch 1"); },
+                         [&] { second_ran.store(true); }),
+               std::logic_error);
+  EXPECT_TRUE(second_ran.load());
+}
+
+TEST_F(SchedulerTest, ReinitializeChangesWorkerCount) {
+  scheduler::initialize(2);
+  EXPECT_EQ(scheduler::num_workers(), 2u);
+  scheduler::initialize(5);
+  EXPECT_EQ(scheduler::num_workers(), 5u);
+  scheduler::initialize(1);
+  EXPECT_EQ(scheduler::num_workers(), 1u);
+}
+
+TEST_F(SchedulerTest, ManySmallRegionsNoDeadlock) {
+  scheduler::initialize(4);
+  long total = 0;
+  for (int round = 0; round < 200; ++round) {
+    long x = 0, y = 0;
+    fork2join([&] { x = round; }, [&] { y = 2 * round; });
+    total += x + y;
+  }
+  EXPECT_EQ(total, 3L * 199 * 200 / 2);
+}
+
+TEST_F(SchedulerTest, HeavyImbalanceIsStolen) {
+  scheduler::initialize(4);
+  // One branch is long, the other forks many short tasks. Just verifies
+  // completion and the final sum.
+  std::atomic<long> sum{0};
+  fork2join(
+      [&] {
+        for (int i = 0; i < 1000; ++i) sum.fetch_add(1);
+      },
+      [&] {
+        for (int i = 0; i < 100; ++i) {
+          fork2join([&] { sum.fetch_add(3); }, [&] { sum.fetch_add(7); });
+        }
+      });
+  EXPECT_EQ(sum.load(), 1000 + 100 * 10);
+}
+
+TEST_F(SchedulerTest, WorkerIdStableOnMainThread) {
+  scheduler::initialize(3);
+  EXPECT_EQ(scheduler::worker_id(), 0u);
+  fork2join([] {}, [] {});
+  EXPECT_EQ(scheduler::worker_id(), 0u);
+}
+
+}  // namespace
+}  // namespace parct::par

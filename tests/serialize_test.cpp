@@ -1,0 +1,77 @@
+// Tests for contraction-structure serialization: round-trip identity and,
+// crucially, that a loaded structure keeps updating correctly (same coin
+// schedule) — dynamic updates on the loaded copy must equal updates on the
+// original.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "contraction/serialize.hpp"
+#include "contraction/validate.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+
+namespace parct::contract {
+namespace {
+
+TEST(Serialize, RoundTripIdentity) {
+  forest::Forest f = forest::build_tree(700, 4, 0.5, 3);
+  ContractionForest c(f.capacity(), 4, 2024);
+  construct(c, f);
+
+  std::stringstream buf;
+  save(c, buf);
+  ContractionForest loaded = load(buf);
+
+  EXPECT_EQ(loaded.capacity(), c.capacity());
+  EXPECT_EQ(loaded.degree_bound(), c.degree_bound());
+  EXPECT_EQ(loaded.seed(), c.seed());
+  EXPECT_TRUE(structurally_equal(c, loaded));
+  EXPECT_FALSE(check_valid(loaded, f).has_value());
+}
+
+TEST(Serialize, EmptyStructure) {
+  ContractionForest c(16, 4, 5);
+  std::stringstream buf;
+  save(c, buf);
+  ContractionForest loaded = load(buf);
+  EXPECT_EQ(loaded.capacity(), 16u);
+  EXPECT_TRUE(structurally_equal(c, loaded));
+}
+
+TEST(Serialize, LoadedStructureUpdatesIdentically) {
+  forest::Forest full = forest::build_tree(900, 4, 0.6, 7, 8);
+  auto [initial, batch] = forest::make_insert_batch(full, 25, 11);
+
+  ContractionForest original(initial.capacity(), 4, 777);
+  construct(original, initial);
+
+  std::stringstream buf;
+  save(original, buf);
+  ContractionForest loaded = load(buf);
+
+  modify_contraction(original, batch);
+  modify_contraction(loaded, batch);
+  EXPECT_TRUE(structurally_equal(original, loaded));
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream buf("definitely not a contraction structure");
+  EXPECT_THROW(load(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  forest::Forest f = forest::build_tree(100, 4, 0.5, 1);
+  ContractionForest c(f.capacity(), 4, 2);
+  construct(c, f);
+  std::stringstream buf;
+  save(c, buf);
+  const std::string full_bytes = buf.str();
+  std::stringstream cut(full_bytes.substr(0, full_bytes.size() / 2));
+  EXPECT_THROW(load(cut), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace parct::contract

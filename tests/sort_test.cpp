@@ -1,0 +1,92 @@
+// Tests for the parallel merge sort primitive.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hashing/splitmix64.hpp"
+#include "parallel/scheduler.hpp"
+#include "primitives/sort.hpp"
+
+namespace parct::prim {
+namespace {
+
+class SortTest : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { par::scheduler::initialize(GetParam()); }
+  void TearDown() override { par::scheduler::initialize(1); }
+};
+
+TEST_P(SortTest, RandomValuesMatchStdSort) {
+  for (std::size_t n : {0, 1, 2, 100, 4096, 4097, 100000}) {
+    hashing::SplitMix64 rng(n + 1);
+    std::vector<std::uint64_t> v(n);
+    for (auto& x : v) x = rng.next_below(1 << 20);
+    auto expected = v;
+    std::sort(expected.begin(), expected.end());
+    parallel_sort(v);
+    EXPECT_EQ(v, expected) << "n=" << n;
+  }
+}
+
+TEST_P(SortTest, AlreadySortedAndReversed) {
+  std::vector<int> up(50000), down(50000);
+  for (int i = 0; i < 50000; ++i) {
+    up[i] = i;
+    down[i] = 50000 - i;
+  }
+  auto up2 = up;
+  parallel_sort(up2);
+  EXPECT_EQ(up2, up);
+  parallel_sort(down);
+  EXPECT_TRUE(std::is_sorted(down.begin(), down.end()));
+}
+
+TEST_P(SortTest, StabilityOnKeyedPairs) {
+  // Sort pairs by first only; seconds must stay in input order per key.
+  const std::size_t n = 60000;
+  hashing::SplitMix64 rng(7);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = {static_cast<std::uint32_t>(rng.next_below(100)),
+            static_cast<std::uint32_t>(i)};
+  }
+  parallel_sort(v, [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  for (std::size_t i = 1; i < n; ++i) {
+    ASSERT_LE(v[i - 1].first, v[i].first);
+    if (v[i - 1].first == v[i].first) {
+      ASSERT_LT(v[i - 1].second, v[i].second);
+    }
+  }
+}
+
+TEST_P(SortTest, CustomComparatorDescending) {
+  hashing::SplitMix64 rng(9);
+  std::vector<int> v(30000);
+  for (auto& x : v) x = static_cast<int>(rng.next_below(1000));
+  parallel_sort(v, std::greater<int>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int>{}));
+}
+
+TEST_P(SortTest, SortedIndices) {
+  hashing::SplitMix64 rng(11);
+  std::vector<std::uint64_t> keys(20000);
+  for (auto& k : keys) k = rng.next_below(1 << 16);
+  auto idx = sorted_indices(keys.size(), [&](std::uint32_t a,
+                                             std::uint32_t b) {
+    return keys[a] < keys[b];
+  });
+  for (std::size_t i = 1; i < idx.size(); ++i) {
+    ASSERT_LE(keys[idx[i - 1]], keys[idx[i]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, SortTest, ::testing::Values(1u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned>& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace parct::prim

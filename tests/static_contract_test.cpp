@@ -1,0 +1,90 @@
+// Tests for the static Miller-Reif baseline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "contraction/construct.hpp"
+#include "parallel/scheduler.hpp"
+#include "static_contraction/static_contract.hpp"
+#include "test_util.hpp"
+
+namespace parct {
+namespace {
+
+using static_contraction::static_contract;
+using static_contraction::static_contract_sequential;
+using static_contraction::StaticStats;
+
+class StaticContractTest : public ::testing::TestWithParam<test::Shape> {};
+
+TEST_P(StaticContractTest, ParallelMatchesSequential) {
+  forest::Forest f = GetParam().build(3000, 11, 0);
+  hashing::CoinSchedule c1(7), c2(7);
+  const StaticStats a = static_contract(f, c1);
+  const StaticStats b = static_contract_sequential(f, c2);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_live, b.total_live);
+}
+
+TEST_P(StaticContractTest, MatchesRecordingConstructionRoundCounts) {
+  // Under the same coin schedule, static contraction and the recording
+  // construction algorithm must walk through exactly the same forests.
+  forest::Forest f = GetParam().build(2000, 13, 0);
+  hashing::CoinSchedule coins(555);
+  const StaticStats s = static_contract(f, coins);
+
+  contract::ContractionForest c(f.capacity(), f.degree_bound(), 555);
+  const contract::ConstructStats r = contract::construct(c, f);
+  EXPECT_EQ(s.rounds, r.rounds);
+  EXPECT_EQ(s.total_live, r.total_live);
+}
+
+TEST_P(StaticContractTest, HooksSeeEveryVertexExactlyOnce) {
+  forest::Forest f = GetParam().build(1000, 3, 0);
+
+  struct Counter : contract::EventHooks {
+    std::atomic<std::uint64_t> fin{0}, rake{0}, comp{0};
+    void on_finalize(std::uint32_t, VertexId) override { fin.fetch_add(1); }
+    void on_rake(std::uint32_t, VertexId, VertexId) override {
+      rake.fetch_add(1);
+    }
+    void on_compress(std::uint32_t, VertexId, VertexId, VertexId) override {
+      comp.fetch_add(1);
+    }
+  } hooks;
+
+  hashing::CoinSchedule coins(3);
+  static_contract(f, coins, &hooks);
+  EXPECT_EQ(hooks.fin.load() + hooks.rake.load() + hooks.comp.load(),
+            f.num_present());
+  EXPECT_EQ(hooks.fin.load(), f.roots().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StaticContractTest, ::testing::ValuesIn(test::kShapes),
+    [](const ::testing::TestParamInfo<test::Shape>& info) {
+      return info.param.name;
+    });
+
+TEST(StaticContract, EmptyForest) {
+  forest::Forest f(4, 4, 0);
+  hashing::CoinSchedule coins(1);
+  const StaticStats s = static_contract(f, coins);
+  EXPECT_EQ(s.rounds, 0u);
+  EXPECT_EQ(s.total_live, 0u);
+}
+
+TEST(StaticContract, DeterministicAcrossWorkerCounts) {
+  forest::Forest f = forest::build_tree(4000, 4, 0.6, 21);
+  par::scheduler::initialize(4);
+  hashing::CoinSchedule c1(9);
+  const StaticStats a = static_contract(f, c1);
+  par::scheduler::initialize(1);
+  hashing::CoinSchedule c2(9);
+  const StaticStats b = static_contract(f, c2);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.total_live, b.total_live);
+}
+
+}  // namespace
+}  // namespace parct

@@ -1,0 +1,215 @@
+// Tests for dynamic subtree aggregates (the RC-tree query): brute-force
+// cross-checks on random forests, monoid variety, and correctness across
+// batched structural updates and vertex churn.
+#include <gtest/gtest.h>
+
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+#include "hashing/splitmix64.hpp"
+#include "rc/path_aggregate.hpp"  // PathPlus / PathMax combiners
+#include "rc/subtree_aggregate.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using contract::DynamicUpdater;
+using forest::ChangeSet;
+using forest::Forest;
+using SubtreeSum = rc::SubtreeAggregate<long, rc::PathPlus>;
+using SubtreeMax = rc::SubtreeAggregate<long, rc::PathMax>;
+
+long brute_subtree(const Forest& f, const std::vector<long>& w, VertexId v,
+                   bool take_max) {
+  long acc = w[v];
+  for (VertexId u : f.children(v)) {
+    if (u == kNoVertex) continue;
+    const long sub = brute_subtree(f, w, u, take_max);
+    acc = take_max ? std::max(acc, sub) : acc + sub;
+  }
+  return acc;
+}
+
+TEST(SubtreeAggregate, ChainSuffixSums) {
+  const std::size_t n = 100;
+  Forest f = forest::build_chain(n);
+  ContractionForest c(n, 4, 5);
+  SubtreeSum agg(c, 0);
+  for (VertexId v = 0; v < n; ++v) agg.stage_vertex_weight(v, 1);
+  contract::construct(c, f, &agg);
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(agg.subtree_sum(v), static_cast<long>(n - v)) << v;
+  }
+  EXPECT_EQ(agg.tree_sum(50), static_cast<long>(n));
+}
+
+TEST(SubtreeAggregate, StarAndBalanced) {
+  Forest star(9, 8, 9);
+  for (VertexId v = 1; v < 9; ++v) star.link(v, 0);
+  ContractionForest c(9, 8, 7);
+  SubtreeSum agg(c, 0);
+  for (VertexId v = 0; v < 9; ++v) {
+    agg.stage_vertex_weight(v, static_cast<long>(v));
+  }
+  contract::construct(c, star, &agg);
+  EXPECT_EQ(agg.subtree_sum(0), 36);
+  for (VertexId v = 1; v < 9; ++v) {
+    EXPECT_EQ(agg.subtree_sum(v), static_cast<long>(v));
+  }
+
+  Forest bal = forest::build_balanced(85, 4);
+  ContractionForest cb(85, 4, 9);
+  SubtreeSum aggb(cb, 0);
+  std::vector<long> w(85);
+  for (VertexId v = 0; v < 85; ++v) {
+    w[v] = static_cast<long>(v % 7);
+    aggb.stage_vertex_weight(v, w[v]);
+  }
+  contract::construct(cb, bal, &aggb);
+  for (VertexId v = 0; v < 85; ++v) {
+    ASSERT_EQ(aggb.subtree_sum(v), brute_subtree(bal, w, v, false)) << v;
+  }
+}
+
+class SubtreeShapes : public ::testing::TestWithParam<double> {};
+
+TEST_P(SubtreeShapes, RandomTreesMatchBruteForce) {
+  const std::size_t n = 2000;
+  Forest f = forest::build_tree(n, 4, GetParam(), 17);
+  ContractionForest c(n, 4, 23);
+  SubtreeSum agg(c, 0);
+  std::vector<long> w(n);
+  hashing::SplitMix64 rng(3);
+  for (VertexId v = 0; v < n; ++v) {
+    w[v] = static_cast<long>(rng.next_below(100));
+    agg.stage_vertex_weight(v, w[v]);
+  }
+  contract::construct(c, f, &agg);
+  for (int q = 0; q < 400; ++q) {
+    const VertexId v = static_cast<VertexId>(rng.next_below(n));
+    ASSERT_EQ(agg.subtree_sum(v), brute_subtree(f, w, v, false)) << v;
+  }
+  EXPECT_EQ(agg.tree_sum(5), brute_subtree(f, w, 0, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(ChainFactors, SubtreeShapes,
+                         ::testing::Values(0.0, 0.3, 0.6, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "cf" + std::to_string(static_cast<int>(
+                                             info.param * 10));
+                         });
+
+TEST(SubtreeAggregate, MaxMonoid) {
+  const std::size_t n = 800;
+  Forest f = forest::build_tree(n, 4, 0.5, 29);
+  ContractionForest c(n, 4, 31);
+  SubtreeMax agg(c, LONG_MIN);
+  std::vector<long> w(n);
+  hashing::SplitMix64 rng(8);
+  for (VertexId v = 0; v < n; ++v) {
+    w[v] = static_cast<long>(rng.next_below(1 << 20));
+    agg.stage_vertex_weight(v, w[v]);
+  }
+  contract::construct(c, f, &agg);
+  for (int q = 0; q < 300; ++q) {
+    const VertexId v = static_cast<VertexId>(rng.next_below(n));
+    ASSERT_EQ(agg.subtree_sum(v), brute_subtree(f, w, v, true)) << v;
+  }
+}
+
+TEST(SubtreeAggregate, StaysCorrectAcrossBatchedUpdates) {
+  const std::size_t n = 700;
+  Forest full = forest::build_tree(n, 4, 0.5, 41, 16);
+  auto [cur, first] = forest::make_insert_batch(full, 25, 3);
+
+  ContractionForest c(full.capacity(), 4, 43);
+  SubtreeSum agg(c, 0);
+  std::vector<long> w(full.capacity(), 0);
+  hashing::SplitMix64 rng(11);
+  for (VertexId v = 0; v < n; ++v) {
+    w[v] = static_cast<long>(rng.next_below(50));
+    agg.stage_vertex_weight(v, w[v]);
+  }
+  contract::construct(c, cur, &agg);
+  DynamicUpdater updater(c);
+
+  updater.apply(first, &agg);
+  cur = forest::apply_change_set(cur, first);
+
+  std::vector<Edge> held;
+  for (int step = 0; step < 8; ++step) {
+    ChangeSet m;
+    if (step % 2 == 0) {
+      m = forest::make_delete_batch(cur, 12, rng.next());
+      held = m.remove_edges;
+    } else {
+      m.add_edges = held;
+    }
+    updater.apply(m, &agg);
+    cur = forest::apply_change_set(cur, m);
+    for (int q = 0; q < 120; ++q) {
+      const VertexId v = static_cast<VertexId>(rng.next_below(n));
+      ASSERT_EQ(agg.subtree_sum(v), brute_subtree(cur, w, v, false))
+          << "step " << step << " vertex " << v;
+    }
+  }
+}
+
+TEST(SubtreeAggregate, VertexChurn) {
+  Forest f = forest::build_chain(30, 8);
+  ContractionForest c(f.capacity(), 4, 47);
+  SubtreeSum agg(c, 0);
+  for (VertexId v = 0; v < 30; ++v) agg.stage_vertex_weight(v, 1);
+  contract::construct(c, f, &agg);
+  DynamicUpdater updater(c);
+
+  // Graft 3 new weighted vertices under vertex 10.
+  ChangeSet graft;
+  graft.ins_vertex(30).ins_vertex(31).ins_vertex(32);
+  graft.ins_edge(30, 10).ins_edge(31, 30).ins_edge(32, 31);
+  agg.stage_vertex_weight(30, 100);
+  agg.stage_vertex_weight(31, 10);
+  agg.stage_vertex_weight(32, 1);
+  updater.apply(graft, &agg);
+
+  EXPECT_EQ(agg.subtree_sum(30), 111);
+  EXPECT_EQ(agg.subtree_sum(10), 20 + 111);   // vertices 10..29 + graft
+  EXPECT_EQ(agg.subtree_sum(0), 30 + 111);
+  EXPECT_EQ(agg.subtree_sum(25), 5);
+
+  // Prune the graft again (remove leaves bottom-up in one batch).
+  ChangeSet prune;
+  prune.del_vertex(32).del_edge(32, 31);
+  prune.del_vertex(31).del_edge(31, 30);
+  prune.del_vertex(30).del_edge(30, 10);
+  updater.apply(prune, &agg);
+  EXPECT_EQ(agg.subtree_sum(0), 30);
+  EXPECT_EQ(agg.subtree_sum(10), 20);
+}
+
+TEST(SubtreeAggregate, RebuildMatchesIncremental) {
+  const std::size_t n = 600;
+  Forest f = forest::build_tree(n, 4, 0.6, 51);
+  ContractionForest c(n, 4, 53);
+  SubtreeSum inc(c, 0);
+  std::vector<long> w(n);
+  hashing::SplitMix64 rng(13);
+  for (VertexId v = 0; v < n; ++v) {
+    w[v] = static_cast<long>(rng.next_below(30));
+    inc.stage_vertex_weight(v, w[v]);
+  }
+  contract::construct(c, f, &inc);
+
+  SubtreeSum rebuilt(c, 0);
+  for (VertexId v = 0; v < n; ++v) rebuilt.stage_vertex_weight(v, w[v]);
+  rebuilt.rebuild();
+  for (VertexId v = 0; v < n; ++v) {
+    ASSERT_EQ(rebuilt.subtree_sum(v), inc.subtree_sum(v)) << v;
+  }
+}
+
+}  // namespace
+}  // namespace parct

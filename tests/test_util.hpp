@@ -1,0 +1,63 @@
+// Shared helpers for the test suite: named forest shapes for parameterized
+// sweeps and small conveniences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "forest/forest.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+
+namespace parct::test {
+
+struct Shape {
+  const char* name;
+  // Builds a forest of ~n vertices with `extra` spare ids.
+  forest::Forest (*build)(std::size_t n, std::uint64_t seed,
+                          std::size_t extra);
+};
+
+inline forest::Forest shape_balanced(std::size_t n, std::uint64_t,
+                                     std::size_t extra) {
+  return forest::build_balanced(n, 4, extra);
+}
+inline forest::Forest shape_binary(std::size_t n, std::uint64_t,
+                                   std::size_t extra) {
+  // Round n down to 2^k - 1.
+  std::size_t m = 1;
+  while (2 * m + 1 <= n) m = 2 * m + 1;
+  return forest::build_perfect_binary(m, extra + (n - m));
+}
+inline forest::Forest shape_chain(std::size_t n, std::uint64_t,
+                                  std::size_t extra) {
+  return forest::build_chain(n, extra);
+}
+inline forest::Forest shape_cf03(std::size_t n, std::uint64_t seed,
+                                 std::size_t extra) {
+  return forest::build_tree(n, 4, 0.3, seed, extra);
+}
+inline forest::Forest shape_cf06(std::size_t n, std::uint64_t seed,
+                                 std::size_t extra) {
+  return forest::build_tree(n, 4, 0.6, seed, extra);
+}
+inline forest::Forest shape_cf10(std::size_t n, std::uint64_t seed,
+                                 std::size_t extra) {
+  return forest::build_tree(n, 4, 1.0, seed, extra);
+}
+inline forest::Forest shape_forest5(std::size_t n, std::uint64_t seed,
+                                    std::size_t extra) {
+  const std::size_t trees = std::max<std::size_t>(1, std::min<std::size_t>(5, n / 2));
+  forest::Forest f = forest::random_forest(n, trees, 4, 0.5, seed);
+  (void)extra;
+  return f;
+}
+
+inline constexpr Shape kShapes[] = {
+    {"balanced", shape_balanced}, {"binary", shape_binary},
+    {"chain", shape_chain},       {"cf03", shape_cf03},
+    {"cf06", shape_cf06},         {"cf10", shape_cf10},
+    {"forest5", shape_forest5},
+};
+
+}  // namespace parct::test

@@ -1,0 +1,111 @@
+// Tests for the paper's input generators (§4 "Input Generation").
+#include <gtest/gtest.h>
+
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+
+namespace parct::forest {
+namespace {
+
+TEST(TreeBuilder, BalancedTreeShape) {
+  Forest f = build_balanced(21, 4);
+  EXPECT_FALSE(check_forest(f).has_value());
+  EXPECT_EQ(f.num_edges(), 20u);
+  EXPECT_EQ(f.roots(), std::vector<VertexId>{0});
+  // All but possibly one internal node has exactly 4 children.
+  int partial = 0;
+  for (VertexId v = 0; v < 21; ++v) {
+    const int d = f.degree(v);
+    if (d > 0 && d < 4) ++partial;
+  }
+  EXPECT_LE(partial, 1);
+}
+
+TEST(TreeBuilder, PerfectBinary) {
+  Forest f = build_perfect_binary(15);
+  EXPECT_FALSE(check_forest(f).has_value());
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(f.degree(v), 2);
+  for (VertexId v = 7; v < 15; ++v) EXPECT_TRUE(f.is_leaf(v));
+  EXPECT_EQ(height(f), 3u);
+  EXPECT_THROW(build_perfect_binary(10), std::invalid_argument);
+  EXPECT_THROW(build_perfect_binary(0), std::invalid_argument);
+}
+
+TEST(TreeBuilder, Chain) {
+  Forest f = build_chain(100);
+  EXPECT_FALSE(check_forest(f).has_value());
+  EXPECT_EQ(height(f), 99u);
+  EXPECT_EQ(root_of(f, 99), 0u);
+}
+
+class ChainFactor : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChainFactor, GuaranteesDegreeTwoFraction) {
+  const double cf = GetParam();
+  const std::size_t n = 5000;
+  Forest f = build_tree(n, 4, cf, 42);
+  EXPECT_FALSE(check_forest(f).has_value());
+  EXPECT_EQ(f.num_present(), n);
+  EXPECT_EQ(f.num_edges(), n - 1);  // single tree
+  // Paper: at least f*n vertices have degree two (i.e. one child) as long
+  // as f <= 1 - 2/n. "Degree two" counts the parent edge plus one child.
+  std::size_t unary = 0;
+  for (VertexId v = 0; v < n; ++v) unary += f.degree(v) == 1 ? 1 : 0;
+  if (cf <= 1.0 - 2.0 / static_cast<double>(n)) {
+    EXPECT_GE(unary, static_cast<std::size_t>(cf * n) > 0
+                         ? static_cast<std::size_t>(cf * n) - 1
+                         : 0);
+  }
+  // Degree bound respected.
+  for (VertexId v = 0; v < n; ++v) EXPECT_LE(f.degree(v), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, ChainFactor,
+                         ::testing::Values(0.0, 0.3, 0.6, 1.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "cf" + std::to_string(static_cast<int>(
+                                             info.param * 10));
+                         });
+
+TEST(TreeBuilder, ChainFactorOneIsSingleChain) {
+  const std::size_t n = 200;
+  Forest f = build_tree(n, 4, 1.0, 7);
+  // r = 2, everything else splits edges: the result is one chain with a
+  // single leaf.
+  std::size_t leaves = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    leaves += (f.present(v) && f.is_leaf(v)) ? 1 : 0;
+  }
+  EXPECT_EQ(leaves, 1u);
+  EXPECT_EQ(height(f), n - 1);
+}
+
+TEST(TreeBuilder, ChainFactorZeroIsBalanced) {
+  Forest f = build_tree(1000, 4, 0.0, 7);
+  // Balanced 4-ary tree of 1000 vertices has height ceil(log4) ~ 5.
+  EXPECT_LE(height(f), 6u);
+}
+
+TEST(TreeBuilder, DeterministicInSeed) {
+  Forest a = build_tree(500, 4, 0.5, 99);
+  Forest b = build_tree(500, 4, 0.5, 99);
+  Forest c = build_tree(500, 4, 0.5, 100);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(TreeBuilder, ExtraCapacityIsAbsent) {
+  Forest f = build_tree(50, 4, 0.5, 1, 10);
+  EXPECT_EQ(f.capacity(), 60u);
+  EXPECT_EQ(f.num_present(), 50u);
+  EXPECT_FALSE(f.present(55));
+}
+
+TEST(TreeBuilder, RejectsBadArguments) {
+  EXPECT_THROW(build_tree(1, 4, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(build_tree(100, 4, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(build_tree(100, 4, 1.5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace parct::forest

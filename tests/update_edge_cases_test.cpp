@@ -1,0 +1,213 @@
+// Additional dynamic-update edge cases: vertex-id recycling across
+// batches, repeated churn on the same region, classic one-edge-at-a-time
+// usage mirrored against a Link-Cut Tree, and degenerate change sets.
+#include <gtest/gtest.h>
+
+#include "baseline/link_cut_tree.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "contraction/validate.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+#include "rc/rc_forest.hpp"
+
+namespace parct {
+namespace {
+
+using contract::ContractionForest;
+using contract::DynamicUpdater;
+using forest::ChangeSet;
+using forest::Forest;
+
+void expect_matches_scratch(const ContractionForest& c, const Forest& cur,
+                            std::uint64_t seed) {
+  ContractionForest oracle(cur.capacity(), cur.degree_bound(), seed);
+  contract::construct(oracle, cur);
+  ASSERT_TRUE(contract::structurally_equal(c, oracle));
+}
+
+TEST(UpdateEdgeCases, VertexIdRecycledAcrossBatches) {
+  // Delete a vertex in one batch, re-add the SAME id later (possibly in a
+  // different place). Stale per-round records from its first life must not
+  // leak into the second.
+  Forest f = forest::build_chain(30);
+  ContractionForest c(30, 4, 500);
+  contract::construct(c, f);
+  DynamicUpdater updater(c);
+
+  ChangeSet kill;
+  kill.del_vertex(29).del_edge(29, 28);
+  updater.apply(kill);
+  Forest cur = forest::apply_change_set(f, kill);
+  expect_matches_scratch(c, cur, 500);
+
+  ChangeSet revive;
+  revive.ins_vertex(29).ins_edge(29, 5);  // same id, new location
+  updater.apply(revive);
+  cur = forest::apply_change_set(cur, revive);
+  expect_matches_scratch(c, cur, 500);
+
+  // And once more, moved again.
+  ChangeSet again;
+  again.del_vertex(29).del_edge(29, 5);
+  updater.apply(again);
+  cur = forest::apply_change_set(cur, again);
+  ChangeSet again2;
+  again2.ins_vertex(29).ins_edge(29, 0);
+  updater.apply(again2);
+  cur = forest::apply_change_set(cur, again2);
+  expect_matches_scratch(c, cur, 500);
+}
+
+TEST(UpdateEdgeCases, RepeatedChurnOnSameRegion) {
+  // Hammer the same few edges over many batches; durations and records
+  // must stay exactly in sync with from-scratch reconstruction.
+  Forest f = forest::build_tree(200, 4, 0.6, 12);
+  ContractionForest c(200, 4, 321);
+  contract::construct(c, f);
+  DynamicUpdater updater(c);
+  Forest cur = f;
+
+  const VertexId hot = 100;
+  for (int round = 0; round < 10; ++round) {
+    ChangeSet m;
+    const VertexId old_parent = cur.parent(hot);
+    const VertexId new_parent = (round % 2 == 0) ? 3 : old_parent;
+    if (new_parent == old_parent) {
+      // Detach to root and back later.
+      m.del_edge(hot, old_parent);
+    } else {
+      if (cur.is_root(hot)) {
+        m.ins_edge(hot, new_parent);
+      } else {
+        m.del_edge(hot, old_parent).ins_edge(hot, new_parent);
+      }
+    }
+    if (forest::check_change_set(cur, m).has_value()) continue;
+    updater.apply(m);
+    cur = forest::apply_change_set(cur, m);
+    expect_matches_scratch(c, cur, 321);
+  }
+}
+
+TEST(UpdateEdgeCases, ClassicSingleEdgeUsageMirrorsLct) {
+  // Use the structure the way sequential dynamic-trees structures are
+  // used: one link or cut at a time, with interleaved connectivity
+  // queries, checked against a Link-Cut Tree.
+  const std::size_t n = 300;
+  Forest cur(n, 8, n);
+  ContractionForest c(n, 8, 777);
+  contract::construct(c, cur);
+  DynamicUpdater updater(c);
+  baseline::LinkCutTree lct(n);
+
+  hashing::SplitMix64 rng(2);
+  std::vector<VertexId> non_roots;
+  for (int op = 0; op < 400; ++op) {
+    if (!non_roots.empty() && rng.next_below(100) < 40) {
+      const std::size_t k = rng.next_below(non_roots.size());
+      const VertexId v = non_roots[k];
+      non_roots[k] = non_roots.back();
+      non_roots.pop_back();
+      ChangeSet m;
+      m.del_edge(v, cur.parent(v));
+      updater.apply(m);
+      cur = forest::apply_change_set(cur, m);
+      lct.cut(v);
+    } else {
+      const VertexId child = static_cast<VertexId>(rng.next_below(n));
+      const VertexId parent = static_cast<VertexId>(rng.next_below(n));
+      if (child == parent || !cur.is_root(child)) continue;
+      if (forest::root_of(cur, parent) == child) continue;
+      if (cur.degree(parent) >= cur.degree_bound()) continue;
+      ChangeSet m;
+      m.ins_edge(child, parent);
+      updater.apply(m);
+      cur = forest::apply_change_set(cur, m);
+      lct.link(child, parent);
+      non_roots.push_back(child);
+    }
+    if (op % 20 == 0) {
+      rc::RCForest rcf(c);
+      for (int q = 0; q < 25; ++q) {
+        const VertexId a = static_cast<VertexId>(rng.next_below(n));
+        const VertexId b = static_cast<VertexId>(rng.next_below(n));
+        ASSERT_EQ(rcf.connected(a, b), lct.connected(a, b))
+            << "op " << op;
+      }
+    }
+  }
+  expect_matches_scratch(c, cur, 777);
+}
+
+TEST(UpdateEdgeCases, BatchTouchingEveryVertexOnce) {
+  // Star -> matching: every vertex's configuration changes at round 0.
+  const std::size_t n = 9;  // 8 leaves, at the compile-time degree cap
+  Forest f(n, 8, n);
+  for (VertexId v = 1; v < n; ++v) f.link(v, 0);
+  ChangeSet m;
+  for (VertexId v = 1; v < n; ++v) m.del_edge(v, 0);
+  for (VertexId v = 2; v < n; v += 2) m.ins_edge(v, v - 1);
+  ASSERT_FALSE(forest::check_change_set(f, m).has_value());
+  ContractionForest c(n, 8, 9);
+  contract::construct(c, f);
+  contract::modify_contraction(c, m);
+  Forest cur = forest::apply_change_set(f, m);
+  expect_matches_scratch(c, cur, 9);
+}
+
+TEST(UpdateEdgeCases, DegreeBoundSaturatedParent) {
+  // Fill a parent's slots, then churn children in and out: slot reuse in
+  // round-0 records must stay consistent.
+  Forest f(10, 3, 10);
+  f.link(1, 0);
+  f.link(2, 0);
+  f.link(3, 0);  // 0 saturated at degree bound 3
+  ContractionForest c(10, 3, 4);
+  contract::construct(c, f);
+  DynamicUpdater updater(c);
+  Forest cur = f;
+
+  ChangeSet m1;
+  m1.del_edge(2, 0).ins_edge(4, 0);  // swap a child within the batch
+  updater.apply(m1);
+  cur = forest::apply_change_set(cur, m1);
+  expect_matches_scratch(c, cur, 4);
+
+  ChangeSet m2;
+  m2.del_edge(4, 0).del_edge(1, 0).ins_edge(5, 0).ins_edge(6, 0);
+  updater.apply(m2);
+  cur = forest::apply_change_set(cur, m2);
+  expect_matches_scratch(c, cur, 4);
+}
+
+TEST(UpdateEdgeCases, OverflowingInsertThrows) {
+  Forest f(5, 2, 5);
+  f.link(1, 0);
+  f.link(2, 0);
+  ContractionForest c(5, 2, 4);
+  contract::construct(c, f);
+  ChangeSet m;
+  m.ins_edge(3, 0);  // no free slot at the degree bound
+  EXPECT_THROW(contract::modify_contraction(c, m), std::runtime_error);
+}
+
+TEST(UpdateEdgeCases, LargeIdVertexGrowsUniverse) {
+  Forest f = forest::build_chain(20);
+  ContractionForest c(20, 4, 4);
+  contract::construct(c, f);
+  ChangeSet m;
+  m.ins_vertex(1000).ins_edge(1000, 19);
+  contract::modify_contraction(c, m);
+  EXPECT_GE(c.capacity(), 1001u);
+  EXPECT_GT(c.duration(1000), 0u);
+
+  Forest cur = forest::apply_change_set(f, m);
+  ContractionForest oracle(cur.capacity(), 4, 4);
+  contract::construct(oracle, cur);
+  EXPECT_TRUE(contract::structurally_equal(c, oracle));
+}
+
+}  // namespace
+}  // namespace parct

@@ -1,0 +1,204 @@
+// parct_cli — command-line driver for contraction structures.
+//
+//   parct_cli gen <n> <chain_factor> <seed> <file>   build + construct + save
+//   parct_cli info <file>                            stats and round profile
+//   parct_cli update <file> <out> del|ins <k> <seed> apply a random batch
+//   parct_cli validate <file>                        full independent check
+//   parct_cli dot <file> <round>                     Graphviz of round i
+//
+// Structures are stored in the parct binary format (contraction/serialize).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "contraction/analysis.hpp"
+#include "contraction/construct.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "contraction/serialize.hpp"
+#include "contraction/validate.hpp"
+#include "forest/generators.hpp"
+#include "forest/tree_builder.hpp"
+#include "forest/validation.hpp"
+#include "parallel/scheduler.hpp"
+
+using namespace parct;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  parct_cli gen <n> <chain_factor> <seed> <file>\n"
+               "  parct_cli info <file>\n"
+               "  parct_cli update <file> <out> del|ins <k> <seed>\n"
+               "  parct_cli validate <file>\n"
+               "  parct_cli dot <file> <round>\n");
+  return 2;
+}
+
+contract::ContractionForest load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return contract::load(in);
+}
+
+void save_file(const contract::ContractionForest& c,
+               const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  contract::save(c, out);
+}
+
+int cmd_gen(int argc, char** argv) {
+  if (argc != 6) return usage();
+  const std::size_t n = static_cast<std::size_t>(std::atoll(argv[2]));
+  const double cf = std::atof(argv[3]);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(std::strtoull(argv[4], nullptr, 10));
+  forest::Forest f = forest::build_tree(n, 4, cf, seed);
+  contract::ContractionForest c(f.capacity(), 4, seed ^ 0xC0DE);
+  const contract::ConstructStats stats = contract::construct(c, f);
+  save_file(c, argv[5]);
+  std::printf("built n=%zu cf=%.2f: %u rounds, %llu work -> %s\n", n, cf,
+              stats.rounds,
+              static_cast<unsigned long long>(stats.total_live), argv[5]);
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc != 3) return usage();
+  contract::ContractionForest c = load_file(argv[2]);
+  const contract::ContractionProfile p = contract::profile(c);
+  std::size_t present = 0;
+  for (VertexId v = 0; v < c.capacity(); ++v) {
+    present += c.duration(v) > 0 ? 1 : 0;
+  }
+  std::printf("capacity       %zu\n", c.capacity());
+  std::printf("present        %zu\n", present);
+  std::printf("degree bound   %d\n", c.degree_bound());
+  std::printf("seed           %llu\n",
+              static_cast<unsigned long long>(c.seed()));
+  std::printf("rounds         %u\n", p.num_rounds());
+  std::printf("total records  %zu\n", c.total_records());
+  std::printf("total work     %llu\n",
+              static_cast<unsigned long long>(p.total_work()));
+  std::printf("round  live     fin    rake    comp\n");
+  for (std::size_t i = 0; i < p.rounds.size(); ++i) {
+    const auto& r = p.rounds[i];
+    std::printf("%5zu %7u %6u %7u %7u\n", i, r.live, r.finalizes, r.rakes,
+                r.compresses);
+  }
+  return 0;
+}
+
+int cmd_update(int argc, char** argv) {
+  if (argc != 7) return usage();
+  contract::ContractionForest c = load_file(argv[2]);
+  const bool deletes = std::strcmp(argv[4], "del") == 0;
+  if (!deletes && std::strcmp(argv[4], "ins") != 0) return usage();
+  const std::size_t k = static_cast<std::size_t>(std::atoll(argv[5]));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(std::strtoull(argv[6], nullptr, 10));
+
+  forest::Forest f = c.extract_forest();
+  forest::ChangeSet m;
+  if (deletes) {
+    m = forest::make_delete_batch(f, k, seed);
+  } else {
+    // Random re-attachments: cut k random edges first (inside the same
+    // batch) and re-insert them under fresh random parents with capacity.
+    m = forest::make_delete_batch(f, k, seed);
+    hashing::SplitMix64 rng(seed * 3 + 1);
+    std::vector<int> extra(f.capacity(), 0);
+    for (const Edge& e : m.remove_edges) {
+      for (int attempts = 0; attempts < (1 << 16); ++attempts) {
+        const VertexId p =
+            static_cast<VertexId>(rng.next_below(f.capacity()));
+        if (!f.present(p) || p == e.child) continue;
+        if (f.degree(p) + extra[p] >= f.degree_bound()) continue;
+        // Avoid cycles: p must not be in e.child's subtree. Conservative
+        // test via root walk in the *current* forest after the cut: the
+        // cut makes e.child a root, so reject p reachable to e.child.
+        VertexId w = p;
+        while (!f.is_root(w) && w != e.child) w = f.parent(w);
+        if (w == e.child) continue;
+        ++extra[p];
+        m.ins_edge(e.child, p);
+        break;
+      }
+    }
+  }
+  if (auto err = forest::check_change_set(f, m)) {
+    std::fprintf(stderr, "generated batch invalid: %s\n", err->c_str());
+    return 1;
+  }
+  const contract::UpdateStats stats = contract::modify_contraction(c, m);
+  save_file(c, argv[3]);
+  std::printf(
+      "applied %zu changes: %u rounds, %llu affected total -> %s\n",
+      m.size(), stats.rounds,
+      static_cast<unsigned long long>(stats.total_affected), argv[3]);
+  return 0;
+}
+
+int cmd_validate(int argc, char** argv) {
+  if (argc != 3) return usage();
+  contract::ContractionForest c = load_file(argv[2]);
+  forest::Forest f = c.extract_forest();
+  if (auto err = forest::check_forest(f)) {
+    std::printf("INVALID round-0 forest: %s\n", err->c_str());
+    return 1;
+  }
+  if (auto err = contract::check_valid(c, f)) {
+    std::printf("INVALID structure: %s\n", err->c_str());
+    return 1;
+  }
+  std::printf("OK: structure is a valid contraction of its round-0 forest "
+              "(%zu records, %u rounds)\n",
+              c.total_records(), c.num_rounds());
+  return 0;
+}
+
+int cmd_dot(int argc, char** argv) {
+  if (argc != 4) return usage();
+  contract::ContractionForest c = load_file(argv[2]);
+  const std::uint32_t round =
+      static_cast<std::uint32_t>(std::atoll(argv[3]));
+  std::printf("// forest at contraction round %u (alive vertices only)\n",
+              round);
+  std::printf("digraph round%u {\n  rankdir=BT;\n", round);
+  std::size_t alive = 0;
+  for (VertexId v = 0; v < c.capacity(); ++v) {
+    if (c.duration(v) <= round) continue;
+    ++alive;
+    const contract::RoundRecord& r = c.record(round, v);
+    const bool dies_next = c.duration(v) == round + 1;
+    std::printf("  v%u%s;\n", v,
+                dies_next ? " [style=dashed]" : "");
+    if (r.parent != v) std::printf("  v%u -> v%u;\n", v, r.parent);
+  }
+  std::printf("}\n// %zu alive vertices (dashed contract this round)\n",
+              alive);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
+    if (std::strcmp(argv[1], "info") == 0) return cmd_info(argc, argv);
+    if (std::strcmp(argv[1], "update") == 0) return cmd_update(argc, argv);
+    if (std::strcmp(argv[1], "validate") == 0) {
+      return cmd_validate(argc, argv);
+    }
+    if (std::strcmp(argv[1], "dot") == 0) return cmd_dot(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
