@@ -31,6 +31,7 @@ int main() {
     double t1 = 0.0;
     for (unsigned p : bench::thread_sweep()) {
       par::scheduler::initialize(p);
+      bench::StatsDump dump("fig5_construction_speedup");
       contract::ConstructStats stats;
       const double t = bench::time_avg_s(
           [&] {
@@ -48,6 +49,11 @@ int main() {
                  std::to_string(stats.total_live),
                  bench::fmt(static_cast<double>(stats.total_live) /
                             span_proxy)});
+
+      dump.num("n", n).num("chain_factor", cf).num("p", p).num(
+          "construct_time_s", t);
+      bench::add_construct_stats(dump, stats);
+      dump.emit();
     }
   }
   par::scheduler::initialize(1);

@@ -45,6 +45,7 @@ int main() {
 
     // Time the forward insertion only; the inverse deletion (restoring the
     // structure for the next repetition) runs outside the clock.
+    bench::StatsDump dump("fig6_update_insert");
     double total = 0.0;
     for (int r = 0; r < reps; ++r) {
       const auto t0 = std::chrono::steady_clock::now();
@@ -61,6 +62,10 @@ int main() {
     table.row({std::to_string(m), bench::fmt_s(t),
                bench::fmt(t / m * 1e6), std::to_string(stats.total_affected),
                bench::fmt(bound)});
+
+    dump.num("n", n).num("batch_m", m).num("update_time_s", t);
+    bench::add_update_stats(dump, stats);
+    dump.emit();
   }
   return 0;
 }

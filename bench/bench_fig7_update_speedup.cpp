@@ -47,6 +47,7 @@ int main() {
       updater.apply(batch);
       updater.apply(inverse);
 
+      bench::StatsDump dump("fig7_update_speedup");
       double total = 0.0;
       for (int r = 0; r < reps; ++r) {
         const auto t0 = std::chrono::steady_clock::now();
@@ -61,6 +62,11 @@ int main() {
                  bench::fmt(t1 / t), std::to_string(stats.rounds),
                  bench::fmt(static_cast<double>(stats.total_affected) /
                             std::max<std::uint32_t>(1, stats.rounds))});
+
+      dump.num("n", n).num("batch_m", m).num("p", p).num("update_time_s",
+                                                         t);
+      bench::add_update_stats(dump, stats);
+      dump.emit();
     }
   }
   par::scheduler::initialize(1);

@@ -71,6 +71,7 @@ int main() {
       updater.apply(batch);
       updater.apply(inverse);
 
+      bench::StatsDump dump("fig9_update_delete");
       double total = 0.0;
       for (int r = 0; r < reps; ++r) {
         const auto t0 = std::chrono::steady_clock::now();
@@ -83,6 +84,11 @@ int main() {
       table.row({input.name, std::to_string(m), bench::fmt_s(t),
                  bench::fmt(t / m * 1e6),
                  std::to_string(stats.total_affected)});
+
+      dump.str("forest", input.name).num("n", n).num("batch_m", m).num(
+          "update_time_s", t);
+      bench::add_update_stats(dump, stats);
+      dump.emit();
     }
   }
   return 0;

@@ -14,34 +14,42 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
                                           std::uint32_t i,
                                           const std::vector<VertexId>& live,
                                           std::vector<Kind>& status,
-                                          EventHooks* hooks) {
+                                          EventHooks* hooks,
+                                          ConstructStats& stats) {
   c.coins().ensure_rounds(i + 2);
   const std::size_t n = live.size();
 
   // Phase A: contraction decisions. `status` is indexed by vertex id and
   // only entries of live vertices are read, so no per-round reset needed.
-  par::parallel_for(0, n, [&](std::size_t k) {
-    status[live[k]] = c.classify(i, live[k]);
-  });
+  {
+    PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseClassify]);
+    par::parallel_for(0, n, [&](std::size_t k) {
+      status[live[k]] = c.classify(i, live[k]);
+    });
+  }
 
   // Phase B: allocate and blank the round-(i+1) record of every survivor.
   // Each iteration touches only its own vertex's history, so growth is
   // race-free.
-  par::parallel_for(0, n, [&](std::size_t k) {
-    const VertexId v = live[k];
-    if (status[v] != Kind::kSurvive) return;
-    c.ensure_round(v, i + 1);
-    RoundRecord& r = c.record_mut(i + 1, v);
-    r.parent = v;
-    r.parent_slot = 0;
-    r.children = kEmptyChildren;
-  });
+  {
+    PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseAllocate]);
+    par::parallel_for(0, n, [&](std::size_t k) {
+      const VertexId v = live[k];
+      if (status[v] != Kind::kSurvive) return;
+      c.ensure_round(v, i + 1);
+      RoundRecord& r = c.record_mut(i + 1, v);
+      r.parent = v;
+      r.parent_slot = 0;
+      r.children = kEmptyChildren;
+    });
+  }
 
   // Phase C: PromoteEdges (paper Fig. 2). Every round-(i+1) field has
   // exactly one writer: a vertex's parent pointer is written by its
   // surviving parent or by its compressing parent's promotion; child slot
   // (p, j) is written by the surviving vertex owning j or by the vertex
   // its compressing owner hands it to.
+  const StatsTimePoint t_promote = stats_now();
   par::parallel_for(0, n, [&](std::size_t k) {
     const VertexId v = live[k];
     const RoundRecord& r = c.record(i, v);
@@ -83,8 +91,12 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
       }
     }
   });
+  if constexpr (kStatsEnabled) {
+    stats.phase_seconds[kPhasePromoteEdges] += stats_since(t_promote);
+  }
 
   // Phase D: compact the live set (the paper's C(n) subroutine).
+  PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseCompact]);
   return prim::pack(live, [&](std::size_t k) {
     return status[live[k]] == Kind::kSurvive;
   });
@@ -94,6 +106,7 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
 
 ConstructStats construct(ContractionForest& c, const forest::Forest& f,
                          EventHooks* hooks) {
+  const StatsTimePoint t_begin = stats_now();
   c.init_from_forest(f);
   if (hooks) hooks->on_begin(c.capacity());
   std::vector<VertexId> live = f.vertices();
@@ -104,10 +117,11 @@ ConstructStats construct(ContractionForest& c, const forest::Forest& f,
   while (!live.empty()) {
     stats.total_live += live.size();
     stats.live_per_round.push_back(static_cast<std::uint32_t>(live.size()));
-    live = randomized_contract(c, i, live, status, hooks);
+    live = randomized_contract(c, i, live, status, hooks, stats);
     ++i;
   }
   stats.rounds = i;
+  if constexpr (kStatsEnabled) stats.total_seconds = stats_since(t_begin);
   return stats;
 }
 

@@ -8,9 +8,20 @@
 
 #include "contraction/contraction_forest.hpp"
 #include "contraction/hooks.hpp"
+#include "contraction/telemetry.hpp"
 #include "forest/forest.hpp"
 
 namespace parct::contract {
+
+/// Phases of one RandomizedContract round (see construct.cpp). Indexes
+/// ConstructStats::phase_seconds.
+enum ConstructPhase : unsigned {
+  kPhaseClassify = 0,  // A: contraction decisions
+  kPhaseAllocate,      // B: blank round-(i+1) survivor records
+  kPhasePromoteEdges,  // C: PromoteEdges
+  kPhaseCompact,       // D: pack the live set
+  kNumConstructPhases
+};
 
 struct ConstructStats {
   std::uint32_t rounds = 0;
@@ -19,6 +30,13 @@ struct ConstructStats {
   std::uint64_t total_live = 0;
   /// |V^i| per round (for the geometric-decay property tests, Lemma 5).
   std::vector<std::uint32_t> live_per_round;
+
+  // --- telemetry (populated only when built with PARCT_STATS) ---
+  /// Wall-clock seconds per phase, summed over rounds. Index by
+  /// ConstructPhase.
+  double phase_seconds[kNumConstructPhases] = {};
+  /// Wall-clock seconds of the whole construct().
+  double total_seconds = 0.0;
 };
 
 /// Runs ForestContraction(V, E): initializes `c` from `f` (round 0) and

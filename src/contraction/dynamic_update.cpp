@@ -40,6 +40,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
                                   EventHooks* hooks) {
   UpdateStats stats;
   if (m.empty()) return stats;
+  const StatsTimePoint t_begin = stats_now();
 
   // --- capacity for fresh vertex ids ---------------------------------
   std::size_t need = c_.capacity();
@@ -170,6 +171,9 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   lset_.insert(lset_.end(), flipped.begin(), flipped.end());
 
   stats.initial_affected = lset_.size() + xset_.size();
+  if constexpr (kStatsEnabled) {
+    stats.phase_seconds[kPhaseInitial] += stats_since(t_begin);
+  }
 
   // --- change propagation (paper Fig. 3, lines 19-21) ------------------
   std::uint32_t i = 0;
@@ -178,6 +182,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
     ++i;
   }
   stats.rounds = i;
+  if constexpr (kStatsEnabled) stats.total_seconds = stats_since(t_begin);
   return stats;
 }
 
@@ -188,6 +193,18 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   stats.total_affected += nl_count + xset_.size();
   stats.max_affected =
       std::max<std::uint64_t>(stats.max_affected, nl_count + xset_.size());
+  if constexpr (kStatsEnabled) {
+    stats.affected_per_round.push_back(
+        static_cast<std::uint32_t>(nl_count + xset_.size()));
+  }
+  StatsTimePoint t_phase = stats_now();
+  // Accumulates the time since the previous phase boundary into `sink`.
+  auto phase_done = [&](double& sink) {
+    if constexpr (kStatsEnabled) {
+      sink += stats_since(t_phase);
+      t_phase = stats_now();
+    }
+  };
 
   // Phase A: mark L (and L-union-X), classify L's members in G, and record
   // old (F) leaf statuses at round i+1 before anything rewrites them (the
@@ -208,6 +225,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
           children_empty(c_.record(i + 1, v).children) ? 1 : 0;
     }
   });
+  phase_done(stats.phase_seconds[kPhaseMark]);
 
   // Phase B: build NL = L plus all round-i neighbours in G (Fig. 4 line
   // 3), claim-then-pack for a duplicate-free list.
@@ -227,6 +245,11 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   std::vector<VertexId> nl = prim::pack(
       cand_, [&](std::size_t k) { return cand_[k] != kNoVertex; });
   stats.total_neighborhood += nl.size();
+  if constexpr (kStatsEnabled) {
+    stats.neighborhood_per_round.push_back(
+        static_cast<std::uint32_t>(nl.size()));
+  }
+  phase_done(stats.phase_seconds[kPhaseNeighborhood]);
 
   // Phase C: erase round-(i+1) edges incident on *affected* vertices
   // (L union X; the paper's "delete all edges which are incident upon an
@@ -255,6 +278,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
       c_.record_mut(i + 1, v) = RoundRecord{v, 0, kEmptyChildren};
     }
   });
+  phase_done(stats.phase_seconds[kPhaseErase]);
 
   // Phase D: re-promote edges for NL (PromoteEdges over the affected
   // region and its fringe — the paper's "we also have to promote edges
@@ -298,6 +322,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
       }
     }
   });
+  phase_done(stats.phase_seconds[kPhasePromote]);
 
   // Phase E: new (G) leaf statuses at round i+1 (the ell' of Fig. 4).
   par::parallel_for(0, nl_count, [&](std::size_t k) {
@@ -308,6 +333,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
           children_empty(c_.record(i + 1, v).children) ? 1 : 0;
     }
   });
+  phase_done(stats.phase_seconds[kPhaseLeaf]);
 
   // Phase F: Spread (Fig. 4 lines 20-31): build the next round's L.
   //  (a) a contracting member affects its round-i G-neighbours (which all
@@ -350,6 +376,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   });
   std::vector<VertexId> next_l = prim::pack(
       cand_, [&](std::size_t k) { return cand_[k] != kNoVertex; });
+  phase_done(stats.phase_seconds[kPhaseSpread]);
 
   // Phase G: X bookkeeping (Fig. 3 line 18, Fig. 4 lines on X): members of
   // L that contract in G but are still alive in F join X with their G
@@ -375,6 +402,8 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
       c_.truncate_to_duration(v);
     }
   }
+
+  phase_done(stats.phase_seconds[kPhaseX]);
 
   lset_ = std::move(next_l);
   xset_ = std::move(next_x);

@@ -13,9 +13,25 @@
 
 #include "contraction/contraction_forest.hpp"
 #include "contraction/hooks.hpp"
+#include "contraction/telemetry.hpp"
 #include "forest/change_set.hpp"
 
 namespace parct::contract {
+
+/// Phases of one apply(): the initial O(m) batch-application phase, then
+/// A-G of each Propagate round (see dynamic_update.cpp). Indexes
+/// UpdateStats::phase_seconds.
+enum UpdatePhase : unsigned {
+  kPhaseInitial = 0,  // apply batch to round 0, build L0/X0
+  kPhaseMark,         // A: mark L / L-union-X, classify, old leaf statuses
+  kPhaseNeighborhood, // B: build NL (claim-then-pack)
+  kPhaseErase,        // C: erase round-(i+1) edges incident on affected
+  kPhasePromote,      // D: re-promote edges over NL
+  kPhaseLeaf,         // E: new leaf statuses
+  kPhaseSpread,       // F: build next round's L
+  kPhaseX,            // G: X bookkeeping (sequential)
+  kNumUpdatePhases
+};
 
 struct UpdateStats {
   /// Rounds of change propagation executed.
@@ -29,6 +45,17 @@ struct UpdateStats {
   std::uint64_t max_affected = 0;
   /// Sum over rounds of |NL| (affected vertices plus their neighbours).
   std::uint64_t total_neighborhood = 0;
+
+  // --- telemetry (populated only when built with PARCT_STATS; see
+  // contraction/telemetry.hpp and docs/OBSERVABILITY.md) ---
+  /// Wall-clock seconds per phase, summed over rounds. Index by UpdatePhase.
+  double phase_seconds[kNumUpdatePhases] = {};
+  /// Wall-clock seconds of the whole apply().
+  double total_seconds = 0.0;
+  /// |L| + |X| entering each propagation round.
+  std::vector<std::uint32_t> affected_per_round;
+  /// |NL| of each propagation round.
+  std::vector<std::uint32_t> neighborhood_per_round;
 };
 
 /// Applies batches of changes to a ContractionForest in place. Holds O(n)

@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "parallel/tsan.hpp"
+
 namespace parct::par {
 
 /// A lock-free single-owner, multi-thief deque of `T*`.
@@ -48,17 +50,20 @@ class ChaseLevDeque {
       buf = grow(buf, t, b);
     }
     buf->put(b, item);
-    std::atomic_thread_fence(std::memory_order_release);
-    bottom_.store(b + 1, std::memory_order_relaxed);
+    detail::fence(std::memory_order_release);
+    bottom_.store(b + 1, detail::mo(std::memory_order_relaxed,
+                                    std::memory_order_release));
   }
 
   /// Owner only. Pops from the bottom; returns nullptr if empty.
   T* pop_bottom() {
     std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Buffer* buf = buffer_.load(std::memory_order_relaxed);
-    bottom_.store(b, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t t = top_.load(std::memory_order_relaxed);
+    bottom_.store(b, detail::mo(std::memory_order_relaxed,
+                                std::memory_order_seq_cst));
+    detail::fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(detail::mo(std::memory_order_relaxed,
+                                          std::memory_order_seq_cst));
     if (t > b) {
       // Deque was empty; restore bottom.
       bottom_.store(b + 1, std::memory_order_relaxed);
@@ -79,9 +84,11 @@ class ChaseLevDeque {
   /// Any thread. Steals from the top; returns nullptr if empty or the
   /// steal raced and lost.
   T* steal_top() {
-    std::int64_t t = top_.load(std::memory_order_acquire);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
-    std::int64_t b = bottom_.load(std::memory_order_acquire);
+    std::int64_t t = top_.load(detail::mo(std::memory_order_acquire,
+                                          std::memory_order_seq_cst));
+    detail::fence(std::memory_order_seq_cst);
+    std::int64_t b = bottom_.load(detail::mo(std::memory_order_acquire,
+                                             std::memory_order_seq_cst));
     if (t >= b) return nullptr;
     Buffer* buf = buffer_.load(std::memory_order_consume);
     T* item = buf->get(t);

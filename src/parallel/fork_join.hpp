@@ -36,6 +36,7 @@ void fork2join(F1&& f1, F2&& f2) {
     f2();
     return;
   }
+  scheduler::detail::RegionScope region;  // blocks pool re-init while t2 lives
   ClosureTask<F2> t2(f2);
   scheduler::detail::push_task(&t2);
   try {

@@ -42,7 +42,9 @@ T parallel_reduce_rec(std::size_t lo, std::size_t hi, std::size_t grain,
     return acc;
   }
   const std::size_t mid = lo + (hi - lo) / 2;
-  T left{}, right{};
+  // Seed from `identity`, not T{}: T need not be default-constructible.
+  T left = identity;
+  T right = identity;
   fork2join(
       [&] {
         left = parallel_reduce_rec(lo, mid, grain, identity, map, combine);

@@ -6,11 +6,14 @@
 #include <memory>
 #include <mutex>
 #include <random>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "parallel/chase_lev_deque.hpp"
+#include "parallel/stats.hpp"
+#include "parallel/tsan.hpp"
 
 namespace parct::par::scheduler {
 namespace {
@@ -18,6 +21,11 @@ namespace {
 struct alignas(64) WorkerState {
   ChaseLevDeque<Task> deque;
   std::uint64_t rng_state = 0;  // victim-selection RNG, owner thread only
+  // Runtime counters (parct::par::stats). Owner-incremented with relaxed
+  // atomics so concurrent snapshot reads are race-free.
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> tasks_executed{0};
+  std::atomic<std::uint64_t> parks{0};
 };
 
 struct Pool {
@@ -34,16 +42,30 @@ struct Pool {
   std::atomic<bool> shutting_down{false};
   std::atomic<std::uint64_t> work_signal{0};
   std::atomic<int> sleepers{0};
-  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> wakeups{0};
   std::mutex mu;
   std::condition_variable cv;
 
   unsigned size() const { return static_cast<unsigned>(workers.size()); }
 };
 
-Pool* g_pool = nullptr;
+// Lifecycle: g_pool is an atomic pointer so lazy first-use initialization
+// from any thread is race-free; g_lifecycle_mu serializes
+// initialize/shutdown themselves.
+std::atomic<Pool*> g_pool{nullptr};
+std::mutex g_lifecycle_mu;
+
+// tl_pool tags which pool tl_worker_id belongs to: after a re-initialize,
+// surviving threads carry ids from the old pool, and self_id() must not
+// use them to index the new (possibly smaller) worker array.
 thread_local unsigned tl_worker_id = 0;
+thread_local const Pool* tl_pool = nullptr;
 thread_local bool tl_in_task = false;
+thread_local int tl_region_depth = 0;
+
+unsigned self_id(const Pool& pool) {
+  return tl_pool == &pool ? tl_worker_id : 0;
+}
 
 std::uint64_t next_random(std::uint64_t& s) {
   s ^= s << 13;
@@ -64,14 +86,15 @@ Task* try_steal(Pool& pool, unsigned self) {
     if (victim >= n) victim -= n;
     if (victim == self) continue;
     if (Task* t = pool.workers[victim]->deque.steal_top()) {
-      pool.steals.fetch_add(1, std::memory_order_relaxed);
+      pool.workers[self]->steals.fetch_add(1, std::memory_order_relaxed);
       return t;
     }
   }
   return nullptr;
 }
 
-void run_task(Task* t) {
+void run_task(WorkerState& ws, Task* t) {
+  ws.tasks_executed.fetch_add(1, std::memory_order_relaxed);
   bool saved = tl_in_task;
   tl_in_task = true;
   t->run();
@@ -81,12 +104,14 @@ void run_task(Task* t) {
 // Main loop of helper workers (ids 1..n-1).
 void worker_loop(Pool* pool, unsigned id) {
   tl_worker_id = id;
+  tl_pool = pool;
+  WorkerState& self = *pool->workers[id];
   constexpr int kSpinAttempts = 64;
   while (!pool->shutting_down.load(std::memory_order_acquire)) {
     if (Task* t = try_steal(*pool, id)) {
-      run_task(t);
+      run_task(self, t);
       // Drain our own deque: stolen tasks may have forked children.
-      while (Task* own = pool->workers[id]->deque.pop_bottom()) run_task(own);
+      while (Task* own = self.deque.pop_bottom()) run_task(self, own);
       continue;
     }
     // Back off: spin a bit, then park until new work is signalled.
@@ -94,9 +119,8 @@ void worker_loop(Pool* pool, unsigned id) {
     for (int i = 0; i < kSpinAttempts; ++i) {
       std::this_thread::yield();
       if (Task* t = try_steal(*pool, id)) {
-        run_task(t);
-        while (Task* own = pool->workers[id]->deque.pop_bottom())
-          run_task(own);
+        run_task(self, t);
+        while (Task* own = self.deque.pop_bottom()) run_task(self, own);
         found = true;
         break;
       }
@@ -105,15 +129,16 @@ void worker_loop(Pool* pool, unsigned id) {
 
     std::uint64_t sig = pool->work_signal.load(std::memory_order_seq_cst);
     pool->sleepers.fetch_add(1, std::memory_order_seq_cst);
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    par::detail::fence(std::memory_order_seq_cst);
     // Final sweep after registering as a sleeper (pairs with the fence in
     // push_task) so a concurrent push cannot be missed.
     if (Task* t = try_steal(*pool, id)) {
       pool->sleepers.fetch_sub(1, std::memory_order_seq_cst);
-      run_task(t);
-      while (Task* own = pool->workers[id]->deque.pop_bottom()) run_task(own);
+      run_task(self, t);
+      while (Task* own = self.deque.pop_bottom()) run_task(self, own);
       continue;
     }
+    self.parks.fetch_add(1, std::memory_order_relaxed);
     {
       std::unique_lock<std::mutex> lk(pool->mu);
       pool->cv.wait(lk, [&] {
@@ -127,8 +152,9 @@ void worker_loop(Pool* pool, unsigned id) {
 
 void wake_sleepers(Pool& pool) {
   pool.work_signal.fetch_add(1, std::memory_order_seq_cst);
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  par::detail::fence(std::memory_order_seq_cst);
   if (pool.sleepers.load(std::memory_order_seq_cst) > 0) {
+    pool.wakeups.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(pool.mu);
     pool.cv.notify_all();
   }
@@ -156,68 +182,104 @@ unsigned default_worker_count() {
 
 struct PoolGuard {
   ~PoolGuard() {
-    destroy_pool(g_pool);
-    g_pool = nullptr;
+    std::lock_guard<std::mutex> lk(g_lifecycle_mu);
+    destroy_pool(g_pool.exchange(nullptr, std::memory_order_acq_rel));
   }
 } g_pool_guard;
+
+/// The active pool, started on first use (lazy init from any thread).
+Pool& ensure_pool() {
+  Pool* p = g_pool.load(std::memory_order_acquire);
+  if (p == nullptr) {
+    initialize();
+    p = g_pool.load(std::memory_order_acquire);
+  }
+  return *p;
+}
 
 }  // namespace
 
 void initialize(unsigned num_workers) {
   if (num_workers == 0) num_workers = default_worker_count();
-  if (g_pool != nullptr && g_pool->size() == num_workers) return;
-  destroy_pool(g_pool);
-  g_pool = new Pool(num_workers);
-  tl_worker_id = 0;  // calling thread is worker 0
-  for (unsigned i = 1; i < num_workers; ++i) {
-    g_pool->threads.emplace_back(worker_loop, g_pool, i);
+  Pool* cur = g_pool.load(std::memory_order_acquire);
+  if (cur != nullptr && cur->size() == num_workers) return;  // idempotent
+  if (in_parallel_region()) {
+    // Tearing down the pool here would destroy deques that may still hold
+    // live stack-allocated tasks of enclosing fork-join regions.
+    throw std::logic_error(
+        "parct: scheduler::initialize(n) with a new worker count called "
+        "from inside a parallel region");
   }
+  std::lock_guard<std::mutex> lk(g_lifecycle_mu);
+  cur = g_pool.load(std::memory_order_acquire);
+  if (cur != nullptr && cur->size() == num_workers) return;
+  destroy_pool(g_pool.exchange(nullptr, std::memory_order_acq_rel));
+  Pool* next = new Pool(num_workers);
+  tl_worker_id = 0;  // calling thread is worker 0
+  tl_pool = next;
+  for (unsigned i = 1; i < num_workers; ++i) {
+    next->threads.emplace_back(worker_loop, next, i);
+  }
+  g_pool.store(next, std::memory_order_release);
 }
 
 void shutdown() {
-  destroy_pool(g_pool);
-  g_pool = nullptr;
+  if (in_parallel_region()) {
+    throw std::logic_error(
+        "parct: scheduler::shutdown() called from inside a parallel region");
+  }
+  std::lock_guard<std::mutex> lk(g_lifecycle_mu);
+  destroy_pool(g_pool.exchange(nullptr, std::memory_order_acq_rel));
 }
 
-unsigned num_workers() {
-  if (g_pool == nullptr) initialize();
-  return g_pool->size();
+unsigned num_workers() { return ensure_pool().size(); }
+
+unsigned worker_id() {
+  const Pool* p = g_pool.load(std::memory_order_acquire);
+  return p != nullptr && tl_pool == p ? tl_worker_id : 0;
 }
 
-unsigned worker_id() { return tl_worker_id; }
-
-bool in_parallel_region() { return tl_in_task; }
+bool in_parallel_region() { return tl_in_task || tl_region_depth > 0; }
 
 namespace detail {
 
+RegionScope::RegionScope() { ++tl_region_depth; }
+RegionScope::~RegionScope() { --tl_region_depth; }
+
 void push_task(Task* t) {
-  Pool& pool = *g_pool;
-  pool.workers[tl_worker_id]->deque.push_bottom(t);
+  Pool& pool = ensure_pool();
+  pool.workers[self_id(pool)]->deque.push_bottom(t);
   wake_sleepers(pool);
 }
 
-Task* pop_task() { return g_pool->workers[tl_worker_id]->deque.pop_bottom(); }
+Task* pop_task() {
+  Pool& pool = ensure_pool();
+  return pool.workers[self_id(pool)]->deque.pop_bottom();
+}
 
 bool steal_and_run_one() {
-  if (Task* t = try_steal(*g_pool, tl_worker_id)) {
-    run_task(t);
+  Pool& pool = ensure_pool();
+  const unsigned self = self_id(pool);
+  if (Task* t = try_steal(pool, self)) {
+    run_task(*pool.workers[self], t);
     return true;
   }
   return false;
 }
 
 void wait_for(Task* t) {
-  Pool& pool = *g_pool;
-  const unsigned self = tl_worker_id;
+  Pool& pool = ensure_pool();
+  const unsigned self = self_id(pool);
+  WorkerState& ws = *pool.workers[self];
   while (!t->finished()) {
     // Help: run anything forked locally by tasks we ran while waiting,
     // then try to steal from others.
-    if (Task* own = pool.workers[self]->deque.pop_bottom()) {
-      run_task(own);
+    if (Task* own = ws.deque.pop_bottom()) {
+      run_task(ws, own);
       continue;
     }
     if (Task* stolen = try_steal(pool, self)) {
-      run_task(stolen);
+      run_task(ws, stolen);
       continue;
     }
     std::this_thread::yield();
@@ -226,3 +288,37 @@ void wait_for(Task* t) {
 
 }  // namespace detail
 }  // namespace parct::par::scheduler
+
+namespace parct::par::stats {
+
+PoolCounters snapshot() {
+  scheduler::Pool& pool = scheduler::ensure_pool();
+  PoolCounters out;
+  out.num_workers = pool.size();
+  out.wakeups = pool.wakeups.load(std::memory_order_relaxed);
+  out.workers.resize(pool.size());
+  for (unsigned i = 0; i < pool.size(); ++i) {
+    const scheduler::WorkerState& ws = *pool.workers[i];
+    WorkerCounters& w = out.workers[i];
+    w.steals = ws.steals.load(std::memory_order_relaxed);
+    w.tasks_executed = ws.tasks_executed.load(std::memory_order_relaxed);
+    w.parks = ws.parks.load(std::memory_order_relaxed);
+    out.steals += w.steals;
+    out.tasks_executed += w.tasks_executed;
+    out.parks += w.parks;
+  }
+  return out;
+}
+
+void reset() {
+  scheduler::Pool& pool = scheduler::ensure_pool();
+  pool.wakeups.store(0, std::memory_order_relaxed);
+  for (unsigned i = 0; i < pool.size(); ++i) {
+    scheduler::WorkerState& ws = *pool.workers[i];
+    ws.steals.store(0, std::memory_order_relaxed);
+    ws.tasks_executed.store(0, std::memory_order_relaxed);
+    ws.parks.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace parct::par::stats

@@ -62,11 +62,14 @@ namespace scheduler {
 
 /// Starts (or restarts) the pool with `num_workers` total workers, counting
 /// the calling thread as worker 0. `num_workers == 0` means "use
-/// PARCT_NUM_THREADS if set, else hardware_concurrency". Must not be called
-/// from inside a parallel region. Idempotent when the count is unchanged.
+/// PARCT_NUM_THREADS if set, else hardware_concurrency". Idempotent when
+/// the count is unchanged; restarting with a *different* count from inside
+/// a parallel region throws std::logic_error (tasks may be in flight on
+/// the deques about to be destroyed).
 void initialize(unsigned num_workers = 0);
 
-/// Tears the pool down (joins helper threads). Called automatically at exit.
+/// Tears the pool down (joins helper threads). Called automatically at
+/// exit. Throws std::logic_error from inside a parallel region.
 void shutdown();
 
 /// Number of workers in the active pool (>= 1). Starts the pool on first use.
@@ -76,11 +79,23 @@ unsigned num_workers();
 /// thread outside any pool.
 unsigned worker_id();
 
-/// True if the calling thread is a pool worker currently inside a task.
+/// True if the calling thread is inside a task or an open fork-join region
+/// (i.e. stack-allocated tasks of this thread may be live on the deques).
 bool in_parallel_region();
 
 // --- internal API used by fork_join.hpp ---
 namespace detail {
+/// RAII marker: the calling thread has stack-allocated tasks in flight, so
+/// in_parallel_region() holds for the scope and pool re-initialization is
+/// refused. fork_join.hpp opens one per multi-worker fork2join.
+struct RegionScope {
+  RegionScope();
+  ~RegionScope();
+  RegionScope(const RegionScope&) = delete;
+  RegionScope& operator=(const RegionScope&) = delete;
+};
+
+/// All of the functions below start the pool on first use.
 void push_task(Task* t);
 /// Tries to pop the owner's most recent task; returns nullptr if it was
 /// stolen (or the deque is empty).

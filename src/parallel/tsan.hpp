@@ -1,0 +1,42 @@
+// Sanitizer-awareness helpers for the lock-free runtime.
+//
+// ThreadSanitizer does not model standalone std::atomic_thread_fence (GCC
+// even warns via -Wtsan), so fence-based algorithms like the Chase-Lev
+// deque produce false positives under TSAN. Under TSAN we therefore
+// strengthen the atomic operations adjacent to each fence to seq_cst and
+// compile the fence itself out; everywhere else the original (weaker,
+// faster) orderings are kept.
+#pragma once
+
+#include <atomic>
+
+#if defined(__SANITIZE_THREAD__)
+#define PARCT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PARCT_TSAN 1
+#endif
+#endif
+#ifndef PARCT_TSAN
+#define PARCT_TSAN 0
+#endif
+
+namespace parct::par::detail {
+
+/// Memory order selector: `normal` in regular builds, `tsan` under TSAN.
+constexpr std::memory_order mo(std::memory_order normal,
+                               std::memory_order tsan) {
+  return PARCT_TSAN ? tsan : normal;
+}
+
+/// A fence that TSAN builds elide (the neighbouring operations are
+/// strengthened to seq_cst instead, via `mo`).
+inline void fence(std::memory_order order) {
+#if PARCT_TSAN
+  (void)order;
+#else
+  std::atomic_thread_fence(order);
+#endif
+}
+
+}  // namespace parct::par::detail

@@ -1,48 +1,26 @@
-// Ad-hoc debugging harness (not registered as a test).
-#include <algorithm>
-#include <cstdio>
+// Mixed-batch regression test (formerly an unregistered ad-hoc harness):
+// drives one structure through interleaved delete / move / vertex-churn
+// batches and checks from-scratch equivalence after every step. On a
+// divergence the failure message carries the detailed structure diff
+// (test_util.hpp), which is what makes this harness worth keeping around
+// for debugging propagation bugs.
+#include <gtest/gtest.h>
 
 #include "contraction/construct.hpp"
 #include "contraction/dynamic_update.hpp"
+#include "contraction/validate.hpp"
 #include "forest/change_set.hpp"
 #include "forest/generators.hpp"
 #include "forest/tree_builder.hpp"
 #include "forest/validation.hpp"
+#include "test_util.hpp"
 
-using namespace parct;
+namespace parct {
+namespace {
+
 using contract::ContractionForest;
 
-static void diff(const ContractionForest& a, const ContractionForest& b) {
-  const std::size_t cap = std::max(a.capacity(), b.capacity());
-  int shown = 0;
-  for (VertexId v = 0; v < cap && shown < 20; ++v) {
-    const std::uint32_t da = v < a.capacity() ? a.duration(v) : 0;
-    const std::uint32_t db = v < b.capacity() ? b.duration(v) : 0;
-    if (da != db) {
-      std::printf("v%u: duration %u vs %u\n", v, da, db);
-      ++shown;
-      continue;
-    }
-    for (std::uint32_t i = 0; i < da; ++i) {
-      const auto& ra = a.record(i, v);
-      const auto& rb = b.record(i, v);
-      auto ca = ra.children, cb = rb.children;
-      std::sort(ca.begin(), ca.end());
-      std::sort(cb.begin(), cb.end());
-      if (ra.parent != rb.parent || ca != cb) {
-        std::printf("v%u round %u: p=%u vs %u; children:", v, i, ra.parent,
-                    rb.parent);
-        for (VertexId u : ra.children) if (u != kNoVertex) std::printf(" %u", u);
-        std::printf(" VS");
-        for (VertexId u : rb.children) if (u != kNoVertex) std::printf(" %u", u);
-        std::printf("\n");
-        ++shown;
-      }
-    }
-  }
-}
-
-int main() {
+TEST(DebugUpdate, MixedBatchesStayEquivalentToOracle) {
   forest::Forest f = forest::build_tree(300, 4, 0.6, 4, 16);
   ContractionForest c(f.capacity(), 4, 99);
   contract::construct(c, f);
@@ -65,25 +43,21 @@ int main() {
       m = forest::make_vertex_batch(cur, 3, 3, seed++);
     }
     auto err = forest::check_change_set(cur, m);
-    if (err) { std::printf("step %d: bad changeset: %s\n", step, err->c_str()); return 1; }
+    ASSERT_FALSE(err.has_value()) << "step " << step << ": " << *err;
     updater.apply(m);
     cur = forest::apply_change_set(cur, m);
 
     ContractionForest oracle(cur.capacity(), 4, 99);
     contract::construct(oracle, cur);
-    if (!contract::structurally_equal(c, oracle)) {
-      std::printf("DIVERGED at step %d (kind %d)\n", step, step % 3);
-      std::printf("batch: V-=%zu E-=%zu V+=%zu E+=%zu\n",
-                  m.remove_vertices.size(), m.remove_edges.size(),
-                  m.add_vertices.size(), m.add_edges.size());
-      for (auto v : m.remove_vertices) std::printf("  V- %u\n", v);
-      for (auto e : m.remove_edges) std::printf("  E- (%u,%u)\n", e.child, e.parent);
-      for (auto v : m.add_vertices) std::printf("  V+ %u\n", v);
-      for (auto e : m.add_edges) std::printf("  E+ (%u,%u)\n", e.child, e.parent);
-      diff(c, oracle);
-      return 1;
-    }
+    ASSERT_TRUE(contract::structurally_equal(c, oracle))
+        << "diverged at step " << step << " (kind " << step % 3 << "), "
+        << "batch: V-=" << m.remove_vertices.size()
+        << " E-=" << m.remove_edges.size()
+        << " V+=" << m.add_vertices.size()
+        << " E+=" << m.add_edges.size() << "\n"
+        << test::contraction_diff(c, oracle);
   }
-  std::printf("all steps OK\n");
-  return 0;
 }
+
+}  // namespace
+}  // namespace parct

@@ -27,6 +27,7 @@
 #include "rc/rc_forest.hpp"
 #include "rc/subtree_aggregate.hpp"
 #include "rc/tree_aggregate.hpp"
+#include "test_util.hpp"
 
 namespace parct {
 namespace {
@@ -41,7 +42,9 @@ int soak_steps() {
     const int v = std::atoi(s);
     if (v > 0) return v;
   }
-  return 24;
+  // Quick mode under TSAN/ASAN: the sanitizers multiply runtime ~5-15x, so
+  // the default soak shrinks; PARCT_SOAK_STEPS above still overrides.
+  return test::kSanitizedBuild ? 8 : 24;
 }
 
 class FuzzSoak : public ::testing::TestWithParam<std::uint64_t> {

@@ -1,8 +1,11 @@
 // Tests for parallel_for / parallel_reduce.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <climits>
 #include <numeric>
+#include <type_traits>
 #include <vector>
 
 #include "parallel/parallel_for.hpp"
@@ -69,6 +72,36 @@ TEST_P(ParallelForTest, ReduceMax) {
       0, v.size(), INT_MIN, [&](std::size_t i) { return v[i]; },
       [](int a, int b) { return a > b ? a : b; });
   EXPECT_EQ(got, expected);
+}
+
+TEST_P(ParallelForTest, ReduceNonDefaultConstructibleValueType) {
+  // parallel_reduce must seed intermediate accumulators from `identity`,
+  // not from T{} (T need not be default-constructible).
+  struct MinMax {
+    int lo, hi;
+    MinMax(int l, int h) : lo(l), hi(h) {}
+    MinMax() = delete;
+  };
+  static_assert(!std::is_default_constructible_v<MinMax>);
+  const std::size_t n = 20001;
+  const MinMax got = parallel_reduce(
+      0, n, MinMax(INT_MAX, INT_MIN),
+      [](std::size_t i) {
+        const int v = static_cast<int>((i * 2654435761u) % 1000003);
+        return MinMax(v, v);
+      },
+      [](const MinMax& a, const MinMax& b) {
+        return MinMax(a.lo < b.lo ? a.lo : b.lo, a.hi > b.hi ? a.hi : b.hi);
+      },
+      /*grain=*/64);
+  int lo = INT_MAX, hi = INT_MIN;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int v = static_cast<int>((i * 2654435761u) % 1000003);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_EQ(got.lo, lo);
+  EXPECT_EQ(got.hi, hi);
 }
 
 TEST_P(ParallelForTest, ReduceEmptyIsIdentity) {

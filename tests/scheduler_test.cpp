@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "parallel/fork_join.hpp"
+#include "parallel/parallel_for.hpp"
 #include "parallel/scheduler.hpp"
+#include "parallel/stats.hpp"
 
 namespace parct::par {
 namespace {
@@ -113,6 +115,99 @@ TEST_F(SchedulerTest, WorkerIdStableOnMainThread) {
   EXPECT_EQ(scheduler::worker_id(), 0u);
   fork2join([] {}, [] {});
   EXPECT_EQ(scheduler::worker_id(), 0u);
+}
+
+TEST_F(SchedulerTest, PushPopWorkWithoutExplicitInitialization) {
+  // push_task/pop_task used to dereference a null pool when issued before
+  // any call that initialized it; they must now start the pool themselves.
+  scheduler::shutdown();
+  std::atomic<bool> ran{false};
+  auto f = [&] { ran.store(true); };
+  ClosureTask<decltype(f)> t(f);
+  scheduler::detail::push_task(&t);
+  if (Task* popped = scheduler::detail::pop_task()) {
+    EXPECT_EQ(popped, &t);
+    popped->run();
+  } else {
+    // A freshly started helper stole it; wait for completion.
+    scheduler::detail::wait_for(&t);
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_GE(scheduler::num_workers(), 1u);
+}
+
+TEST_F(SchedulerTest, ReinitializeInsideParallelRegionThrows) {
+  scheduler::initialize(4);
+  bool threw = false;
+  fork2join(
+      [&] {
+        try {
+          scheduler::initialize(2);  // would destroy in-flight deques
+        } catch (const std::logic_error&) {
+          threw = true;
+        }
+      },
+      [] {});
+  EXPECT_TRUE(threw);
+  // Same count stays idempotent (and allowed) inside a region.
+  fork2join([] { scheduler::initialize(4); }, [] {});
+  EXPECT_EQ(scheduler::num_workers(), 4u);
+}
+
+TEST_F(SchedulerTest, ReinitializeInvalidatesStaleWorkerIds) {
+  // A thread that carried a worker id from a previous (larger) pool must
+  // not index past the new pool's worker array.
+  scheduler::initialize(8);
+  fork2join([] {}, [] {});
+  scheduler::initialize(2);
+  std::atomic<int> count{0};
+  fork2join([&] { count.fetch_add(1); }, [&] { count.fetch_add(2); });
+  EXPECT_EQ(count.load(), 3);
+  EXPECT_EQ(scheduler::worker_id(), 0u);
+}
+
+TEST_F(SchedulerTest, StatsReportStealsOnImbalancedWork) {
+  scheduler::initialize(4);
+  stats::reset();
+  // Keep forking until some helper has stolen; with 4 workers and
+  // fine-grained tasks the first round suffices in practice.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    std::atomic<std::uint64_t> sink{0};
+    parallel_for(
+        0, 2000,
+        [&](std::size_t i) {
+          std::uint64_t h = i * 0x9E3779B97F4A7C15ull;
+          h ^= h >> 31;
+          sink.fetch_add(h, std::memory_order_relaxed);
+        },
+        /*grain=*/1);
+    if (stats::snapshot().steals > 0) break;
+  }
+  const stats::PoolCounters counters = stats::snapshot();
+  EXPECT_EQ(counters.num_workers, 4u);
+  EXPECT_EQ(counters.workers.size(), 4u);
+  EXPECT_GT(counters.steals, 0u);
+  EXPECT_GT(counters.tasks_executed, 0u);
+  // Pool totals are the sums of the per-worker counters.
+  std::uint64_t steals = 0, tasks = 0;
+  for (const stats::WorkerCounters& w : counters.workers) {
+    steals += w.steals;
+    tasks += w.tasks_executed;
+  }
+  EXPECT_EQ(counters.steals, steals);
+  EXPECT_EQ(counters.tasks_executed, tasks);
+}
+
+TEST_F(SchedulerTest, StatsResetZeroesCounters) {
+  scheduler::initialize(4);
+  for (int round = 0; round < 20; ++round) fork2join([] {}, [] {});
+  stats::reset();
+  // parks may tick up asynchronously (idle helpers going to sleep), but
+  // steals/tasks/wakeups only move when new work is pushed.
+  const stats::PoolCounters counters = stats::snapshot();
+  EXPECT_EQ(counters.steals, 0u);
+  EXPECT_EQ(counters.tasks_executed, 0u);
+  EXPECT_EQ(counters.wakeups, 0u);
 }
 
 }  // namespace

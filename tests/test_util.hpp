@@ -1,15 +1,34 @@
 // Shared helpers for the test suite: named forest shapes for parameterized
-// sweeps and small conveniences.
+// sweeps, sanitizer-aware scaling, and a contraction-structure differ for
+// equivalence-failure messages.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <string>
 
+#include "contraction/contraction_forest.hpp"
 #include "forest/forest.hpp"
 #include "forest/generators.hpp"
 #include "forest/tree_builder.hpp"
 
 namespace parct::test {
+
+// True under TSAN/ASAN builds: long randomized tests scale their default
+// step counts down (explicit env overrides like PARCT_SOAK_STEPS still
+// win) so sanitizer CI stays within budget.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kSanitizedBuild = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+inline constexpr bool kSanitizedBuild = true;
+#else
+inline constexpr bool kSanitizedBuild = false;
+#endif
+#else
+inline constexpr bool kSanitizedBuild = false;
+#endif
 
 struct Shape {
   const char* name;
@@ -59,5 +78,46 @@ inline constexpr Shape kShapes[] = {
     {"cf06", shape_cf06},         {"cf10", shape_cf10},
     {"forest5", shape_forest5},
 };
+
+/// Human-readable diff of two contraction structures (durations and
+/// per-round records, first `max_lines` mismatches) — for the failure
+/// message of from-scratch-equivalence assertions.
+inline std::string contraction_diff(const contract::ContractionForest& a,
+                                    const contract::ContractionForest& b,
+                                    int max_lines = 20) {
+  std::ostringstream out;
+  const std::size_t cap = std::max(a.capacity(), b.capacity());
+  int shown = 0;
+  for (VertexId v = 0; v < cap && shown < max_lines; ++v) {
+    const std::uint32_t da = v < a.capacity() ? a.duration(v) : 0;
+    const std::uint32_t db = v < b.capacity() ? b.duration(v) : 0;
+    if (da != db) {
+      out << "v" << v << ": duration " << da << " vs " << db << "\n";
+      ++shown;
+      continue;
+    }
+    for (std::uint32_t i = 0; i < da; ++i) {
+      const auto& ra = a.record(i, v);
+      const auto& rb = b.record(i, v);
+      auto ca = ra.children, cb = rb.children;
+      std::sort(ca.begin(), ca.end());
+      std::sort(cb.begin(), cb.end());
+      if (ra.parent != rb.parent || ca != cb) {
+        out << "v" << v << " round " << i << ": p=" << ra.parent << " vs "
+            << rb.parent << "; children:";
+        for (VertexId u : ra.children) {
+          if (u != kNoVertex) out << " " << u;
+        }
+        out << " VS";
+        for (VertexId u : rb.children) {
+          if (u != kNoVertex) out << " " << u;
+        }
+        out << "\n";
+        ++shown;
+      }
+    }
+  }
+  return out.str();
+}
 
 }  // namespace parct::test
