@@ -73,21 +73,45 @@ ChildArray sorted_children(const RoundRecord& r) {
 
 }  // namespace
 
-bool structurally_equal(const ContractionForest& a,
-                        const ContractionForest& b) {
+std::optional<std::string> structural_diff(const ContractionForest& a,
+                                           const ContractionForest& b) {
   const std::size_t cap = std::max(a.capacity(), b.capacity());
   for (VertexId v = 0; v < cap; ++v) {
     const std::uint32_t da = v < a.capacity() ? a.duration(v) : 0;
     const std::uint32_t db = v < b.capacity() ? b.duration(v) : 0;
-    if (da != db) return false;
+    if (da != db) {
+      return "v" + std::to_string(v) + ": duration " + std::to_string(da) +
+             " vs " + std::to_string(db);
+    }
     for (std::uint32_t i = 0; i < da; ++i) {
       const RoundRecord& ra = a.record(i, v);
       const RoundRecord& rb = b.record(i, v);
-      if (ra.parent != rb.parent) return false;
-      if (sorted_children(ra) != sorted_children(rb)) return false;
+      if (ra.parent != rb.parent) {
+        return "v" + std::to_string(v) + " round " + std::to_string(i) +
+               ": parent " + std::to_string(ra.parent) + " vs " +
+               std::to_string(rb.parent);
+      }
+      if (sorted_children(ra) != sorted_children(rb)) {
+        std::string msg = "v" + std::to_string(v) + " round " +
+                          std::to_string(i) + ": children {";
+        for (VertexId u : sorted_children(ra)) {
+          if (u != kNoVertex) msg += " " + std::to_string(u);
+        }
+        msg += " } vs {";
+        for (VertexId u : sorted_children(rb)) {
+          if (u != kNoVertex) msg += " " + std::to_string(u);
+        }
+        msg += " }";
+        return msg;
+      }
     }
   }
-  return true;
+  return std::nullopt;
+}
+
+bool structurally_equal(const ContractionForest& a,
+                        const ContractionForest& b) {
+  return !structural_diff(a, b).has_value();
 }
 
 }  // namespace parct::contract

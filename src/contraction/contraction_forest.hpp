@@ -6,6 +6,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "contraction/round_record.hpp"
@@ -124,5 +126,13 @@ class ContractionForest {
 /// construction on the edited forest with the same coin schedule.
 bool structurally_equal(const ContractionForest& a,
                         const ContractionForest& b);
+
+/// First structural difference between `a` and `b` under the
+/// structurally_equal notion, as a human-readable description — or nullopt
+/// if the structures are equal. Used by equivalence tests and the
+/// differential harness to report *where* a dynamic update diverged from
+/// the from-scratch oracle.
+std::optional<std::string> structural_diff(const ContractionForest& a,
+                                           const ContractionForest& b);
 
 }  // namespace parct::contract

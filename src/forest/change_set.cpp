@@ -59,7 +59,11 @@ std::optional<std::string> check_change_set(const Forest& f,
   std::unordered_set<VertexId> eplus_children;
   for (const Edge& e : eplus) {
     if (e.child == e.parent) return "E+ self-loop";
-    if (f.has_edge(e.child, e.parent)) return "E+ edge already in forest";
+    // An edge may be deleted and re-inserted within one batch (E- ∩ E+):
+    // the deletion happens first, so the insertion sees it absent.
+    if (f.has_edge(e.child, e.parent) && !eminus.count(e)) {
+      return "E+ edge already in forest";
+    }
     if (!endpoint_exists(e.child) || !endpoint_exists(e.parent)) {
       return "E+ edge endpoint absent after edit";
     }

@@ -2,9 +2,11 @@
 // paper's ModifyContraction (§2.5): delete vertices V- and edges E-, then
 // add vertices V+ and edges E+.
 //
-// Preconditions (paper §2.5): V- ⊆ V, V+ ∩ V = ∅, E- ⊆ E, E+ new edges, and
-// the edited graph is again a bounded-degree forest. Every edge incident to
-// a vertex of V- must appear in E-.
+// Preconditions (paper §2.5): V- ⊆ V, V+ ∩ V = ∅, E- ⊆ E, E+ new edges
+// (an edge of E- may reappear in E+: deletions apply first, so within one
+// batch delete-then-reinsert of the same edge is legal), and the edited
+// graph is again a bounded-degree forest. Every edge incident to a vertex
+// of V- must appear in E-.
 #pragma once
 
 #include <optional>

@@ -11,10 +11,14 @@
 
 namespace parct::par {
 
-/// Automatic grain: ~8 leaves per worker, at least 1.
+/// Automatic grain: ~8 leaves per worker, at least 1. Uses
+/// configured_workers(), which reports the worker count the pool would be
+/// started with even before initialization — so the grain is well-defined
+/// (and free of the pool-starting side effect) when computed before the
+/// pool is up.
 inline std::size_t default_grain(std::size_t n) {
   const std::size_t leaves = 8 * static_cast<std::size_t>(
-      scheduler::num_workers());
+      scheduler::configured_workers());
   return std::max<std::size_t>(1, n / std::max<std::size_t>(1, leaves));
 }
 

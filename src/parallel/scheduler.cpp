@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "hashing/splitmix64.hpp"
 #include "parallel/chase_lev_deque.hpp"
 #include "parallel/stats.hpp"
 #include "parallel/tsan.hpp"
@@ -29,13 +30,21 @@ struct alignas(64) WorkerState {
 };
 
 struct Pool {
-  explicit Pool(unsigned n) : workers(n) {
+  Pool(unsigned n, std::uint64_t seed) : steal_seed(seed), workers(n) {
     for (unsigned i = 0; i < n; ++i) {
       workers[i] = std::make_unique<WorkerState>();
-      workers[i]->rng_state = 0x9E3779B97F4A7C15ull * (i + 1) + 1;
+      // seed == 0 keeps the historical deterministic scheme; a nonzero
+      // steal seed reshuffles every worker's victim order (the xorshift
+      // state must stay nonzero).
+      std::uint64_t s =
+          seed == 0 ? 0x9E3779B97F4A7C15ull * (i + 1) + 1
+                    : hashing::mix64(seed + 0x9E3779B97F4A7C15ull * (i + 1));
+      if (s == 0) s = i + 1;
+      workers[i]->rng_state = s;
     }
   }
 
+  const std::uint64_t steal_seed;
   std::vector<std::unique_ptr<WorkerState>> workers;
   std::vector<std::thread> threads;  // helpers for workers 1..n-1
 
@@ -199,22 +208,24 @@ Pool& ensure_pool() {
 
 }  // namespace
 
-void initialize(unsigned num_workers) {
+void initialize(unsigned num_workers, std::uint64_t steal_seed) {
   if (num_workers == 0) num_workers = default_worker_count();
-  Pool* cur = g_pool.load(std::memory_order_acquire);
-  if (cur != nullptr && cur->size() == num_workers) return;  // idempotent
+  auto matches = [&](const Pool* p) {
+    return p != nullptr && p->size() == num_workers &&
+           p->steal_seed == steal_seed;
+  };
+  if (matches(g_pool.load(std::memory_order_acquire))) return;  // idempotent
   if (in_parallel_region()) {
     // Tearing down the pool here would destroy deques that may still hold
     // live stack-allocated tasks of enclosing fork-join regions.
     throw std::logic_error(
-        "parct: scheduler::initialize(n) with a new worker count called "
+        "parct: scheduler::initialize(n) with a new configuration called "
         "from inside a parallel region");
   }
   std::lock_guard<std::mutex> lk(g_lifecycle_mu);
-  cur = g_pool.load(std::memory_order_acquire);
-  if (cur != nullptr && cur->size() == num_workers) return;
+  if (matches(g_pool.load(std::memory_order_acquire))) return;
   destroy_pool(g_pool.exchange(nullptr, std::memory_order_acq_rel));
-  Pool* next = new Pool(num_workers);
+  Pool* next = new Pool(num_workers, steal_seed);
   tl_worker_id = 0;  // calling thread is worker 0
   tl_pool = next;
   for (unsigned i = 1; i < num_workers; ++i) {
@@ -233,6 +244,17 @@ void shutdown() {
 }
 
 unsigned num_workers() { return ensure_pool().size(); }
+
+unsigned configured_workers() {
+  const Pool* p = g_pool.load(std::memory_order_acquire);
+  return p != nullptr ? p->size() : default_worker_count();
+}
+
+bool initialized() {
+  return g_pool.load(std::memory_order_acquire) != nullptr;
+}
+
+std::uint64_t steal_seed() { return ensure_pool().steal_seed; }
 
 unsigned worker_id() {
   const Pool* p = g_pool.load(std::memory_order_acquire);

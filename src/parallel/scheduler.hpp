@@ -62,11 +62,14 @@ namespace scheduler {
 
 /// Starts (or restarts) the pool with `num_workers` total workers, counting
 /// the calling thread as worker 0. `num_workers == 0` means "use
-/// PARCT_NUM_THREADS if set, else hardware_concurrency". Idempotent when
-/// the count is unchanged; restarting with a *different* count from inside
-/// a parallel region throws std::logic_error (tasks may be in flight on
-/// the deques about to be destroyed).
-void initialize(unsigned num_workers = 0);
+/// PARCT_NUM_THREADS if set, else hardware_concurrency". `steal_seed`
+/// perturbs the per-worker victim-selection RNGs so differential tests can
+/// explore different steal orders from a single seed; 0 means the default
+/// deterministic scheme. Idempotent when (count, steal_seed) is unchanged;
+/// restarting with a *different* configuration from inside a parallel
+/// region throws std::logic_error (tasks may be in flight on the deques
+/// about to be destroyed).
+void initialize(unsigned num_workers = 0, std::uint64_t steal_seed = 0);
 
 /// Tears the pool down (joins helper threads). Called automatically at
 /// exit. Throws std::logic_error from inside a parallel region.
@@ -74,6 +77,20 @@ void shutdown();
 
 /// Number of workers in the active pool (>= 1). Starts the pool on first use.
 unsigned num_workers();
+
+/// Number of workers the pool has — or *would* have, if not started yet
+/// (PARCT_NUM_THREADS / hardware_concurrency). Never starts the pool, so
+/// grain heuristics can be computed before initialization without the
+/// side effect of spinning up a default-sized pool.
+unsigned configured_workers();
+
+/// True if the pool is currently running (initialize() was called, or some
+/// first-use path started it, and shutdown() has not torn it down).
+bool initialized();
+
+/// Steal-order seed of the active pool (0 = default scheme). Starts the
+/// pool on first use.
+std::uint64_t steal_seed();
 
 /// Index of the calling worker in [0, num_workers()), or 0 for the main
 /// thread outside any pool.

@@ -1,0 +1,79 @@
+// Regression tests for parct::par::default_grain: it must be well-defined
+// (and side-effect free) before the pool is initialized, and must track
+// the pool's actual worker count once one is running. Also covers the
+// steal-seed plumbing of scheduler::initialize.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace parct::par {
+namespace {
+
+class DefaultGrain : public ::testing::Test {
+ protected:
+  void TearDown() override { scheduler::initialize(1); }
+};
+
+TEST_F(DefaultGrain, WellDefinedBeforePoolStarts) {
+  scheduler::shutdown();
+  ASSERT_FALSE(scheduler::initialized());
+
+  // configured_workers() reports the count the pool *would* start with,
+  // without starting it.
+  const unsigned w = scheduler::configured_workers();
+  ASSERT_GE(w, 1u);
+  EXPECT_FALSE(scheduler::initialized());
+
+  const std::size_t n = 100000;
+  const std::size_t g = default_grain(n);
+  // Computing a grain must not start the pool as a side effect.
+  EXPECT_FALSE(scheduler::initialized());
+  EXPECT_EQ(g, std::max<std::size_t>(1, n / (8 * static_cast<std::size_t>(w))));
+}
+
+TEST_F(DefaultGrain, MatchesRunningPoolCount) {
+  scheduler::initialize(3);
+  ASSERT_TRUE(scheduler::initialized());
+  EXPECT_EQ(scheduler::configured_workers(), 3u);
+  EXPECT_EQ(default_grain(240), 10u);  // 240 / (8 * 3)
+  EXPECT_EQ(default_grain(0), 1u);
+  EXPECT_EQ(default_grain(5), 1u);  // never below 1
+}
+
+TEST_F(DefaultGrain, ConsistentAcrossPoolLifecycle) {
+  // The pre-init grain must agree with the grain after the default pool
+  // actually starts (same n, no env change in between).
+  scheduler::shutdown();
+  const std::size_t before = default_grain(1 << 20);
+  ASSERT_FALSE(scheduler::initialized());
+  scheduler::initialize();  // start with the default count
+  const std::size_t after = default_grain(1 << 20);
+  EXPECT_EQ(before, after);
+}
+
+TEST_F(DefaultGrain, StealSeedReinitializesAndStillComputes) {
+  scheduler::initialize(2, /*steal_seed=*/0xABCDEFull);
+  EXPECT_EQ(scheduler::num_workers(), 2u);
+  EXPECT_EQ(scheduler::steal_seed(), 0xABCDEFull);
+  // Same count, different seed: a distinct pool configuration.
+  scheduler::initialize(2, /*steal_seed=*/7);
+  EXPECT_EQ(scheduler::steal_seed(), 7ull);
+  EXPECT_EQ(scheduler::num_workers(), 2u);
+
+  // The pool still executes parallel work correctly under a custom seed.
+  std::atomic<long> sum{0};
+  parallel_for(0, 1000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 499500);
+
+  // Idempotent when (count, seed) is unchanged.
+  scheduler::initialize(2, /*steal_seed=*/7);
+  EXPECT_EQ(scheduler::steal_seed(), 7ull);
+}
+
+}  // namespace
+}  // namespace parct::par

@@ -1,0 +1,122 @@
+#include "harness/shrink.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+namespace parct::harness {
+
+namespace {
+
+/// Drops steps [lo, hi), keeping the fault-injection step (if any) and
+/// re-indexing it. Returns nullopt if the range contains the injection.
+std::optional<Trace> remove_step_range(const Trace& t, std::size_t lo,
+                                       std::size_t hi) {
+  Trace out = t;
+  if (out.corrupt_step >= 0) {
+    const std::size_t cs = static_cast<std::size_t>(out.corrupt_step);
+    if (cs >= lo && cs < hi) return std::nullopt;
+    if (cs >= hi) out.corrupt_step -= static_cast<int>(hi - lo);
+  }
+  out.steps.erase(out.steps.begin() + lo, out.steps.begin() + hi);
+  return out;
+}
+
+/// Drops weight entries whose key no longer appears among `keep`.
+void prune_weights(std::vector<std::pair<VertexId, long>>& ws,
+                   const std::vector<VertexId>& keep) {
+  ws.erase(std::remove_if(ws.begin(), ws.end(),
+                          [&](const auto& kv) {
+                            return std::find(keep.begin(), keep.end(),
+                                             kv.first) == keep.end();
+                          }),
+           ws.end());
+}
+
+void sync_step_weights(TraceStep& s) {
+  std::vector<VertexId> edge_children;
+  for (const Edge& e : s.batch.add_edges) edge_children.push_back(e.child);
+  prune_weights(s.edge_weights, edge_children);
+  prune_weights(s.vertex_weights, s.batch.add_vertices);
+}
+
+}  // namespace
+
+Trace shrink_trace(const Trace& t, const RunOptions& opts,
+                   ShrinkReport* report, int budget) {
+  int runs = 0;
+  auto attempt = [&](const Trace& cand) {
+    ++runs;
+    return run_trace(cand, opts);
+  };
+
+  Trace best = t;
+  RunResult best_res = attempt(best);
+  auto finish = [&]() {
+    if (report != nullptr) {
+      report->runs = runs;
+      report->result = best_res;
+    }
+    return best;
+  };
+  if (best_res.ok) return finish();  // nothing to shrink
+
+  auto truncate_after_failure = [&]() {
+    if (best_res.failed_step >= 0 &&
+        best_res.failed_step + 1 <
+            static_cast<int>(best.steps.size())) {
+      best.steps.resize(best_res.failed_step + 1);
+    }
+  };
+  truncate_after_failure();
+
+  // Phase 1: drop chunks of steps, halving the chunk size.
+  for (std::size_t chunk = std::max<std::size_t>(1, best.steps.size() / 2);
+       chunk >= 1; chunk /= 2) {
+    std::size_t lo = 0;
+    while (lo < best.steps.size() && runs < budget) {
+      const std::size_t hi = std::min(lo + chunk, best.steps.size());
+      if (auto cand = remove_step_range(best, lo, hi)) {
+        const RunResult r = attempt(*cand);
+        if (r.failed()) {
+          best = std::move(*cand);
+          best_res = r;
+          truncate_after_failure();
+          continue;  // same lo now names different steps
+        }
+      }
+      lo = hi;
+    }
+    if (chunk == 1) break;
+  }
+
+  // Phase 2: drop individual operations inside the surviving batches.
+  for (std::size_t s = 0; s < best.steps.size() && runs < budget; ++s) {
+    auto try_erase = [&](auto member) {
+      auto& vec = best.steps[s].batch.*member;
+      for (std::size_t i = vec.size(); i-- > 0 && runs < budget;) {
+        Trace cand = best;
+        auto& cvec = cand.steps[s].batch.*member;
+        cvec.erase(cvec.begin() + i);
+        sync_step_weights(cand.steps[s]);
+        const RunResult r = attempt(cand);
+        if (r.failed()) {
+          best = std::move(cand);
+          best_res = r;
+        }
+      }
+    };
+    try_erase(&forest::ChangeSet::add_edges);
+    try_erase(&forest::ChangeSet::add_vertices);
+    try_erase(&forest::ChangeSet::remove_edges);
+    try_erase(&forest::ChangeSet::remove_vertices);
+  }
+  truncate_after_failure();
+
+  // Re-establish the exact failure of the final candidate (phases may have
+  // left best_res pointing at a pre-truncation run).
+  best_res = attempt(best);
+  return finish();
+}
+
+}  // namespace parct::harness

@@ -1,0 +1,27 @@
+// Auto-shrinking of failing traces: greedy delta debugging over the step
+// history (truncate after the failure, drop chunks of steps, then drop
+// individual operations inside the surviving batches), accepting any
+// candidate that still fails. The result is a minimal-ish trace whose
+// replay file is small enough to read.
+#pragma once
+
+#include "harness/differential.hpp"
+#include "harness/trace.hpp"
+
+namespace parct::harness {
+
+struct ShrinkReport {
+  /// run_trace invocations spent (bounded by the budget).
+  int runs = 0;
+  /// Result of the final (shrunk) trace — re-run for the caller.
+  RunResult result;
+};
+
+/// Minimizes a failing trace. `t` must fail under `opts`; the returned
+/// trace still fails under `opts` (possibly at a different step or with a
+/// different message — any failure counts). `budget` caps the number of
+/// candidate executions.
+Trace shrink_trace(const Trace& t, const RunOptions& opts,
+                   ShrinkReport* report = nullptr, int budget = 300);
+
+}  // namespace parct::harness

@@ -1,0 +1,182 @@
+#include "harness/trace.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace parct::harness {
+
+namespace {
+
+constexpr const char* kMagic = "parct-replay";
+constexpr int kVersion = 1;
+
+void put_weights(std::ostream& out, const char* tag,
+                 const std::vector<std::pair<VertexId, long>>& ws) {
+  out << tag << " " << ws.size();
+  for (const auto& [v, w] : ws) out << " " << v << " " << w;
+  out << "\n";
+}
+
+std::vector<std::pair<VertexId, long>> get_weights(std::istream& in,
+                                                   const char* tag) {
+  std::string got;
+  std::size_t k = 0;
+  if (!(in >> got >> k) || got != tag) {
+    throw std::runtime_error("parct replay: expected '" + std::string(tag) +
+                             "' section");
+  }
+  std::vector<std::pair<VertexId, long>> ws(k);
+  for (auto& [v, w] : ws) {
+    if (!(in >> v >> w)) {
+      throw std::runtime_error("parct replay: truncated weight list");
+    }
+  }
+  return ws;
+}
+
+void put_ids(std::ostream& out, const char* tag,
+             const std::vector<VertexId>& ids) {
+  out << tag << " " << ids.size();
+  for (VertexId v : ids) out << " " << v;
+  out << "\n";
+}
+
+std::vector<VertexId> get_ids(std::istream& in, const char* tag) {
+  std::string got;
+  std::size_t k = 0;
+  if (!(in >> got >> k) || got != tag) {
+    throw std::runtime_error("parct replay: expected '" + std::string(tag) +
+                             "' section");
+  }
+  std::vector<VertexId> ids(k);
+  for (VertexId& v : ids) {
+    if (!(in >> v)) throw std::runtime_error("parct replay: truncated ids");
+  }
+  return ids;
+}
+
+void put_edges(std::ostream& out, const char* tag,
+               const std::vector<Edge>& es) {
+  out << tag << " " << es.size();
+  for (const Edge& e : es) out << " " << e.child << " " << e.parent;
+  out << "\n";
+}
+
+std::vector<Edge> get_edges(std::istream& in, const char* tag) {
+  std::string got;
+  std::size_t k = 0;
+  if (!(in >> got >> k) || got != tag) {
+    throw std::runtime_error("parct replay: expected '" + std::string(tag) +
+                             "' section");
+  }
+  std::vector<Edge> es(k);
+  for (Edge& e : es) {
+    if (!(in >> e.child >> e.parent)) {
+      throw std::runtime_error("parct replay: truncated edge list");
+    }
+  }
+  return es;
+}
+
+template <typename T>
+T get_field(std::istream& in, const char* name) {
+  std::string got;
+  T value{};
+  if (!(in >> got >> value) || got != name) {
+    throw std::runtime_error("parct replay: expected field '" +
+                             std::string(name) + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+void save_trace(const Trace& t, std::ostream& out) {
+  out << kMagic << " v" << kVersion << "\n";
+  out << "master_seed " << t.master_seed << "\n";
+  out << "num_workers " << t.num_workers << "\n";
+  out << "steal_seed " << t.steal_seed << "\n";
+  out << "contraction_seed " << t.contraction_seed << "\n";
+  out << "ett_seed " << t.ett_seed << "\n";
+  out << "degree_bound " << t.degree_bound << "\n";
+  out << "corrupt_step " << t.corrupt_step << "\n";
+  out << "corrupt_seed " << t.corrupt_seed << "\n";
+  out << "capacity " << t.initial.capacity() << "\n";
+  put_ids(out, "present", t.initial.vertices());
+  put_edges(out, "edges", t.initial.edges());
+  put_weights(out, "edge_weights", t.initial_edge_weights);
+  put_weights(out, "vertex_weights", t.initial_vertex_weights);
+  out << "steps " << t.steps.size() << "\n";
+  for (const TraceStep& s : t.steps) {
+    put_ids(out, "del_vertices", s.batch.remove_vertices);
+    put_edges(out, "del_edges", s.batch.remove_edges);
+    put_ids(out, "ins_vertices", s.batch.add_vertices);
+    put_edges(out, "ins_edges", s.batch.add_edges);
+    put_weights(out, "ew", s.edge_weights);
+    put_weights(out, "vw", s.vertex_weights);
+  }
+  out << "end\n";
+}
+
+void save_trace_file(const Trace& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  save_trace(t, out);
+  out.flush();
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Trace load_trace(std::istream& in) {
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("parct replay: bad magic");
+  }
+  if (version != "v" + std::to_string(kVersion)) {
+    throw std::runtime_error("parct replay: unsupported version " + version);
+  }
+  Trace t;
+  t.master_seed = get_field<std::uint64_t>(in, "master_seed");
+  t.num_workers = get_field<unsigned>(in, "num_workers");
+  t.steal_seed = get_field<std::uint64_t>(in, "steal_seed");
+  t.contraction_seed = get_field<std::uint64_t>(in, "contraction_seed");
+  t.ett_seed = get_field<std::uint64_t>(in, "ett_seed");
+  t.degree_bound = get_field<int>(in, "degree_bound");
+  t.corrupt_step = get_field<int>(in, "corrupt_step");
+  t.corrupt_seed = get_field<std::uint64_t>(in, "corrupt_seed");
+  const std::size_t capacity = get_field<std::size_t>(in, "capacity");
+
+  const std::vector<VertexId> present = get_ids(in, "present");
+  const std::vector<Edge> edges = get_edges(in, "edges");
+  t.initial = forest::Forest(capacity, t.degree_bound, 0);
+  for (VertexId v : present) t.initial.add_vertex(v);
+  for (const Edge& e : edges) t.initial.link(e.child, e.parent);
+  t.initial_edge_weights = get_weights(in, "edge_weights");
+  t.initial_vertex_weights = get_weights(in, "vertex_weights");
+
+  const std::size_t num_steps = get_field<std::size_t>(in, "steps");
+  t.steps.resize(num_steps);
+  for (TraceStep& s : t.steps) {
+    s.batch.remove_vertices = get_ids(in, "del_vertices");
+    s.batch.remove_edges = get_edges(in, "del_edges");
+    s.batch.add_vertices = get_ids(in, "ins_vertices");
+    s.batch.add_edges = get_edges(in, "ins_edges");
+    s.edge_weights = get_weights(in, "ew");
+    s.vertex_weights = get_weights(in, "vw");
+  }
+  std::string tail;
+  if (!(in >> tail) || tail != "end") {
+    throw std::runtime_error("parct replay: missing 'end' marker");
+  }
+  return t;
+}
+
+Trace load_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return load_trace(in);
+}
+
+}  // namespace parct::harness

@@ -1,0 +1,78 @@
+// Trace: a fully explicit, self-contained description of one differential
+// harness run — initial forest, staged weights, every batch, the scheduler
+// configuration (worker count + steal-order seed) and optional fault
+// injection. A trace is what the workload generator produces, what the
+// differential runner executes, what the shrinker minimizes, and what gets
+// dumped to disk as a replay file that `parct_cli replay <file>`
+// re-executes deterministically.
+//
+// The on-disk format is versioned plain text (whitespace-separated
+// tokens): save_trace is deterministic, so save(load(save(t))) is
+// byte-identical to save(t).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "forest/change_set.hpp"
+#include "forest/forest.hpp"
+
+namespace parct::harness {
+
+/// One batch plus the aggregate weights staged for the edges/vertices it
+/// inserts (keyed by child / vertex id, applied before the update).
+struct TraceStep {
+  forest::ChangeSet batch;
+  std::vector<std::pair<VertexId, long>> edge_weights;
+  std::vector<std::pair<VertexId, long>> vertex_weights;
+};
+
+struct Trace {
+  /// Seed the whole run derives from (provenance; also drives the
+  /// per-step query sampling in the runner).
+  std::uint64_t master_seed = 0;
+
+  // --- scheduler perturbation -----------------------------------------
+  unsigned num_workers = 1;
+  std::uint64_t steal_seed = 0;
+
+  // --- structure configuration ----------------------------------------
+  std::uint64_t contraction_seed = 0;  // coin-schedule master seed
+  std::uint64_t ett_seed = 0;          // Euler-tour-tree treap priorities
+  int degree_bound = 4;
+
+  // --- fault injection (testing the harness itself) -------------------
+  /// After applying step `corrupt_step`, deterministically corrupt one
+  /// round record of the live structure (see differential.cpp). -1 = off.
+  int corrupt_step = -1;
+  std::uint64_t corrupt_seed = 0;
+
+  // --- the run itself --------------------------------------------------
+  forest::Forest initial{0, 4, 0};
+  std::vector<std::pair<VertexId, long>> initial_edge_weights;
+  std::vector<std::pair<VertexId, long>> initial_vertex_weights;
+  std::vector<TraceStep> steps;
+
+  /// Total modifications across all batches.
+  std::uint64_t total_ops() const {
+    std::uint64_t n = 0;
+    for (const TraceStep& s : steps) n += s.batch.size();
+    return n;
+  }
+};
+
+/// Writes `t` in the versioned text replay format. Deterministic.
+void save_trace(const Trace& t, std::ostream& out);
+/// Convenience: save to a file path. Throws std::runtime_error on I/O
+/// failure.
+void save_trace_file(const Trace& t, const std::string& path);
+
+/// Parses a trace written by save_trace. Throws std::runtime_error on a
+/// malformed stream.
+Trace load_trace(std::istream& in);
+Trace load_trace_file(const std::string& path);
+
+}  // namespace parct::harness

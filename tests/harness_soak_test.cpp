@@ -1,0 +1,114 @@
+// Long-soak differential test: one seeded trace per worker count, each a
+// long randomized batch history checked step-by-step against the
+// from-scratch oracle and the LCT/ETT baselines (see tests/harness/).
+//
+// Scale knobs (nightly CI turns these up, see .github/workflows/ci.yml):
+//   PARCT_HARNESS_OPS      operations per history   (default 6000;
+//                          1500 under sanitizers)
+//   PARCT_HARNESS_WORKERS  comma-separated worker counts (default 1,2,4)
+//   PARCT_HARNESS_SEED     master seed (default 20170724)
+//
+// On failure the trace is auto-shrunk and dumped as a replay file
+// (honoring $PARCT_REPLAY_DIR) so the exact run can be re-executed with
+// `parct_cli replay <file>`.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/differential.hpp"
+#include "harness/shrink.hpp"
+#include "harness/workload.hpp"
+#include "parallel/scheduler.hpp"
+#include "test_util.hpp"
+
+namespace parct {
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* s = std::getenv(name);
+  return s != nullptr && *s != '\0' ? std::strtoull(s, nullptr, 10)
+                                    : fallback;
+}
+
+std::vector<unsigned> worker_counts() {
+  const char* s = std::getenv("PARCT_HARNESS_WORKERS");
+  const std::string csv = s != nullptr && *s != '\0' ? s : "1,2,4";
+  std::vector<unsigned> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok =
+        csv.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      out.push_back(static_cast<unsigned>(std::strtoul(tok.c_str(),
+                                                       nullptr, 10)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+class HarnessSoakTest : public ::testing::Test {
+ protected:
+  void TearDown() override { par::scheduler::initialize(1); }
+};
+
+TEST_F(HarnessSoakTest, LongHistoryAcrossWorkerCounts) {
+  const std::uint64_t ops =
+      env_u64("PARCT_HARNESS_OPS", test::kSanitizedBuild ? 1500 : 6000);
+  const std::uint64_t seed = env_u64("PARCT_HARNESS_SEED", 20170724);
+
+  harness::RunOptions opts;
+  opts.check_scratch_every = 4;
+  opts.queries_per_step = 8;
+
+  for (const unsigned workers : worker_counts()) {
+    harness::WorkloadConfig config;
+    config.seed = seed + workers;  // fresh history per worker count
+    config.target_ops = ops;
+    config.num_workers = workers;
+    const harness::Trace t = harness::generate_trace(config);
+    ASSERT_GE(t.total_ops(), ops) << "workers=" << workers;
+
+    const harness::RunResult r = harness::run_trace(t, opts);
+    if (r.failed()) {
+      harness::ShrinkReport report;
+      const harness::Trace small = harness::shrink_trace(t, opts, &report);
+      const std::string path = harness::dump_replay(small);
+      FAIL() << "workers=" << workers << " failed at step " << r.failed_step
+             << ": " << r.failure << "\nshrunk to " << small.steps.size()
+             << " steps (" << report.runs << " shrink runs), replay: "
+             << path << "\nre-run with: parct_cli replay " << path;
+    }
+    EXPECT_GT(r.steps_applied, 0u);
+  }
+}
+
+// The same history must produce the same structure regardless of how the
+// scheduler is perturbed: identical trace, different worker count and
+// steal-order seed, still clean (the coin schedule pins every contraction).
+TEST_F(HarnessSoakTest, ScheduleDoesNotAffectOutcome) {
+  harness::WorkloadConfig config;
+  config.seed = env_u64("PARCT_HARNESS_SEED", 20170724) ^ 0x5C4ED;
+  config.target_ops =
+      std::min<std::uint64_t>(2000, env_u64("PARCT_HARNESS_OPS",
+                                            test::kSanitizedBuild ? 1000
+                                                                  : 2000));
+  config.num_workers = 1;
+  harness::Trace t = harness::generate_trace(config);
+
+  for (const unsigned workers : worker_counts()) {
+    t.num_workers = workers;
+    t.steal_seed = 0x9E3779B97F4A7C15ull * (workers + 1);
+    const harness::RunResult r = harness::run_trace(t);
+    EXPECT_TRUE(r.ok) << "workers=" << workers << ", step " << r.failed_step
+                      << ": " << r.failure;
+  }
+}
+
+}  // namespace
+}  // namespace parct

@@ -193,6 +193,161 @@ TEST(UpdateEdgeCases, OverflowingInsertThrows) {
   EXPECT_THROW(contract::modify_contraction(c, m), std::runtime_error);
 }
 
+TEST(UpdateEdgeCases, DuplicateOperationsInOneBatchAreRejected) {
+  Forest f = forest::build_chain(10);
+
+  ChangeSet dup_eminus;
+  dup_eminus.del_edge(5, 4).del_edge(5, 4);
+  auto err = forest::check_change_set(f, dup_eminus);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, "duplicate edge in E-");
+
+  ChangeSet dup_eplus;
+  dup_eplus.del_edge(5, 4).ins_edge(5, 2).ins_edge(5, 2);
+  err = forest::check_change_set(f, dup_eplus);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, "duplicate edge in E+");
+
+  ChangeSet two_parents;
+  two_parents.del_edge(5, 4).ins_edge(5, 1).ins_edge(5, 2);
+  err = forest::check_change_set(f, two_parents);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, "E+ gives a vertex two parents");
+
+  ChangeSet dup_vminus;
+  dup_vminus.del_vertex(9).del_vertex(9).del_edge(9, 8);
+  err = forest::check_change_set(f, dup_vminus);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(*err, "duplicate vertex in V-");
+}
+
+TEST(UpdateEdgeCases, DeleteThenReinsertSameEdgeInOneBatch) {
+  // E- ∩ E+ on the very same edge: deletions apply first, so the edge
+  // bounces out and back within one batch. Valid, and a no-op on the
+  // forest — but the update must still agree with from-scratch
+  // construction afterwards.
+  Forest f = forest::build_tree(60, 4, 0.5, 7);
+  ContractionForest c(60, 4, 88);
+  contract::construct(c, f);
+  DynamicUpdater updater(c);
+
+  VertexId child = kNoVertex;
+  for (VertexId v = 0; v < f.capacity(); ++v) {
+    if (f.present(v) && !f.is_root(v)) {
+      child = v;
+      break;
+    }
+  }
+  ASSERT_NE(child, kNoVertex);
+
+  ChangeSet bounce;
+  bounce.del_edge(child, f.parent(child)).ins_edge(child, f.parent(child));
+  ASSERT_FALSE(forest::check_change_set(f, bounce).has_value());
+  updater.apply(bounce);
+  Forest cur = forest::apply_change_set(f, bounce);
+  EXPECT_EQ(cur.parent(child), f.parent(child));
+  expect_matches_scratch(c, cur, 88);
+
+  // Mixed batch: one edge bounces, another vertex genuinely moves under
+  // the bouncing child (which must have a free child slot, and must not be
+  // in the mover's subtree).
+  const auto is_ancestor = [&](VertexId anc, VertexId v) {
+    while (!cur.is_root(v)) {
+      v = cur.parent(v);
+      if (v == anc) return true;
+    }
+    return false;
+  };
+  VertexId mover = kNoVertex;
+  if (cur.degree(child) >= cur.degree_bound()) {
+    // Pick a different bouncing child with a free slot.
+    for (VertexId v = 0; v < cur.capacity(); ++v) {
+      if (cur.present(v) && !cur.is_root(v) &&
+          cur.degree(v) < cur.degree_bound()) {
+        child = v;
+        break;
+      }
+    }
+  }
+  ASSERT_LT(cur.degree(child), cur.degree_bound());
+  for (VertexId v = 0; v < cur.capacity(); ++v) {
+    if (cur.present(v) && !cur.is_root(v) && v != child &&
+        cur.parent(v) != child && !is_ancestor(v, child)) {
+      mover = v;
+      break;
+    }
+  }
+  ASSERT_NE(mover, kNoVertex);
+  ChangeSet mixed;
+  mixed.del_edge(child, cur.parent(child))
+      .ins_edge(child, cur.parent(child))
+      .del_edge(mover, cur.parent(mover))
+      .ins_edge(mover, child);
+  ASSERT_FALSE(forest::check_change_set(cur, mixed).has_value());
+  updater.apply(mixed);
+  cur = forest::apply_change_set(cur, mixed);
+  EXPECT_EQ(cur.parent(mover), child);
+  expect_matches_scratch(c, cur, 88);
+}
+
+TEST(UpdateEdgeCases, BatchesTouchingTheForestRoot) {
+  // Root-centric churn: shed all the root's children (they become roots),
+  // delete the old root outright, then crown one orphan the parent of the
+  // others — three batches, each hitting the top of the tree.
+  Forest f = forest::build_tree(40, 4, 0.4, 3);
+  ContractionForest c(40, 4, 55);
+  contract::construct(c, f);
+  DynamicUpdater updater(c);
+  Forest cur = f;
+
+  const std::vector<VertexId> roots = cur.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  const VertexId root = roots[0];
+  std::vector<VertexId> orphans;
+  ChangeSet shed;
+  for (VertexId u : cur.children(root)) {
+    if (u != kNoVertex) {
+      shed.del_edge(u, root);
+      orphans.push_back(u);
+    }
+  }
+  ASSERT_GE(orphans.size(), 2u);
+  ASSERT_FALSE(forest::check_change_set(cur, shed).has_value());
+  updater.apply(shed);
+  cur = forest::apply_change_set(cur, shed);
+  EXPECT_TRUE(cur.is_root(orphans[0]));
+  expect_matches_scratch(c, cur, 55);
+
+  ChangeSet behead;
+  behead.del_vertex(root);  // now isolated: no incident edges left
+  ASSERT_FALSE(forest::check_change_set(cur, behead).has_value());
+  updater.apply(behead);
+  cur = forest::apply_change_set(cur, behead);
+  expect_matches_scratch(c, cur, 55);
+
+  ChangeSet crown;
+  // Crown the orphan with the most free child slots.
+  VertexId king = orphans[0];
+  for (const VertexId v : orphans) {
+    if (cur.degree(v) < cur.degree(king)) king = v;
+  }
+  int slots = cur.degree_bound() - cur.degree(king);
+  ASSERT_GT(slots, 0);
+  VertexId crowned = kNoVertex;
+  for (const VertexId v : orphans) {
+    if (v == king || slots == 0) continue;
+    crown.ins_edge(v, king);
+    if (crowned == kNoVertex) crowned = v;
+    --slots;
+  }
+  ASSERT_NE(crowned, kNoVertex);
+  ASSERT_FALSE(forest::check_change_set(cur, crown).has_value());
+  updater.apply(crown);
+  cur = forest::apply_change_set(cur, crown);
+  EXPECT_EQ(forest::root_of(cur, crowned), king);
+  expect_matches_scratch(c, cur, 55);
+}
+
 TEST(UpdateEdgeCases, LargeIdVertexGrowsUniverse) {
   Forest f = forest::build_chain(20);
   ContractionForest c(20, 4, 4);

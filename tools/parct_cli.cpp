@@ -5,8 +5,11 @@
 //   parct_cli update <file> <out> del|ins <k> <seed> apply a random batch
 //   parct_cli validate <file>                        full independent check
 //   parct_cli dot <file> <round>                     Graphviz of round i
+//   parct_cli replay <trace>                         re-run a harness trace
 //
-// Structures are stored in the parct binary format (contraction/serialize).
+// Structures are stored in the parct binary format (contraction/serialize);
+// replay traces are the text files the differential harness dumps on
+// failure (see docs/TESTING.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +24,8 @@
 #include "forest/generators.hpp"
 #include "forest/tree_builder.hpp"
 #include "forest/validation.hpp"
+#include "harness/differential.hpp"
+#include "harness/trace.hpp"
 #include "parallel/scheduler.hpp"
 
 using namespace parct;
@@ -34,7 +39,8 @@ int usage() {
                "  parct_cli info <file>\n"
                "  parct_cli update <file> <out> del|ins <k> <seed>\n"
                "  parct_cli validate <file>\n"
-               "  parct_cli dot <file> <round>\n");
+               "  parct_cli dot <file> <round>\n"
+               "  parct_cli replay <trace>\n");
   return 2;
 }
 
@@ -184,6 +190,28 @@ int cmd_dot(int argc, char** argv) {
   return 0;
 }
 
+// Re-executes a harness replay trace. The trace is self-contained (initial
+// forest, batches, weights, scheduler configuration, fault injection), so
+// this prints the same bytes and exits with the same status on every run.
+int cmd_replay(int argc, char** argv) {
+  if (argc != 3) return usage();
+  const harness::Trace t = harness::load_trace_file(argv[2]);
+  const harness::RunResult r = harness::run_trace(t);
+  std::printf("trace seed=%llu workers=%u steps=%zu ops=%llu\n",
+              static_cast<unsigned long long>(t.master_seed), t.num_workers,
+              t.steps.size(),
+              static_cast<unsigned long long>(t.total_ops()));
+  std::printf("applied %u steps (%u skipped), %llu ops\n", r.steps_applied,
+              r.steps_skipped,
+              static_cast<unsigned long long>(r.ops_applied));
+  if (r.failed()) {
+    std::printf("FAIL at step %d: %s\n", r.failed_step, r.failure.c_str());
+    return 1;
+  }
+  std::printf("OK: all oracle checks passed\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,6 +224,7 @@ int main(int argc, char** argv) {
       return cmd_validate(argc, argv);
     }
     if (std::strcmp(argv[1], "dot") == 0) return cmd_dot(argc, argv);
+    if (std::strcmp(argv[1], "replay") == 0) return cmd_replay(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
