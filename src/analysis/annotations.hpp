@@ -1,0 +1,71 @@
+// Shadow-access annotation macros for the SP-bags detector.
+//
+// Instrumented code marks its reads/writes of shared logical state with
+// these macros. With PARCT_RACE_DETECT=OFF every macro expands to
+// ((void)0) — the key expressions are not even evaluated, so the hot path
+// is byte-for-byte unaffected. With ON, each access first checks
+// spbags::active() (a relaxed load; false outside detection sessions) and
+// only then evaluates the key and updates the shadow cell.
+//
+// Conventions:
+//   PARCT_SHADOW_READ(key) / PARCT_SHADOW_WRITE(key)
+//       one logical cell (see analysis/shadow_keys.hpp for key builders);
+//   PARCT_SHADOW_READ_REC / WRITE_REC (sid, v, round)
+//       a whole RoundRecord: the parent cell plus every child slot;
+//   PARCT_SHADOW_READ_CHILDREN(sid, v, round)
+//       just the child slots;
+//   PARCT_SHADOW_BUFFER(name)
+//       declares `name`, a fresh per-call nonce for buffer_cell() keys, so
+//       reused scratch allocations never alias across calls.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/sp_bags.hpp"
+
+#if PARCT_RACE_DETECT
+
+#define PARCT_SHADOW_READ(...)                                              \
+  (::parct::analysis::spbags::active()                                      \
+       ? ::parct::analysis::spbags::on_read((__VA_ARGS__), __FILE__,        \
+                                            __LINE__)                       \
+       : (void)0)
+
+#define PARCT_SHADOW_WRITE(...)                                             \
+  (::parct::analysis::spbags::active()                                      \
+       ? ::parct::analysis::spbags::on_write((__VA_ARGS__), __FILE__,       \
+                                             __LINE__)                      \
+       : (void)0)
+
+#define PARCT_SHADOW_READ_REC(sid, v, round)                                \
+  (::parct::analysis::spbags::active()                                      \
+       ? ::parct::analysis::spbags::read_record((sid), (v), (round),        \
+                                                __FILE__, __LINE__)         \
+       : (void)0)
+
+#define PARCT_SHADOW_WRITE_REC(sid, v, round)                               \
+  (::parct::analysis::spbags::active()                                      \
+       ? ::parct::analysis::spbags::write_record((sid), (v), (round),       \
+                                                 __FILE__, __LINE__)        \
+       : (void)0)
+
+#define PARCT_SHADOW_READ_CHILDREN(sid, v, round)                           \
+  (::parct::analysis::spbags::active()                                      \
+       ? ::parct::analysis::spbags::read_children((sid), (v), (round),      \
+                                                  __FILE__, __LINE__)       \
+       : (void)0)
+
+#define PARCT_SHADOW_BUFFER(name)                                           \
+  const std::uint64_t name = ::parct::analysis::spbags::new_buffer_id()
+
+#else  // !PARCT_RACE_DETECT
+
+#define PARCT_SHADOW_READ(...) ((void)0)
+#define PARCT_SHADOW_WRITE(...) ((void)0)
+#define PARCT_SHADOW_READ_REC(sid, v, round) ((void)0)
+#define PARCT_SHADOW_WRITE_REC(sid, v, round) ((void)0)
+#define PARCT_SHADOW_READ_CHILDREN(sid, v, round) ((void)0)
+#define PARCT_SHADOW_BUFFER(name) \
+  [[maybe_unused]] const std::uint64_t name = 0
+
+#endif  // PARCT_RACE_DETECT

@@ -1,0 +1,159 @@
+// SP-bags determinacy-race detector (Feng & Leiserson, SPAA 1997), adapted
+// to this library's binary fork2join runtime.
+//
+// When a Session is active the fork-join primitives run the program
+// *serially* in depth-first order while maintaining, per procedure, an
+// S-bag (descendants that logically precede the current instruction) and a
+// P-bag (completed sub-computations that logically run in parallel with
+// it), both as disjoint sets. Every instrumented read/write (see
+// annotations.hpp) consults the shadow cell of its logical location: an
+// access whose previous conflicting accessor sits in a P-bag is a
+// determinacy race — two logically parallel accesses to the same location,
+// at least one a write — and is reported with both sites and the logical
+// fork path, then aborts (or throws, for tests).
+//
+// Because every fork2join in this runtime fully joins its branches before
+// returning, the procedure tree is exactly the nest of ForkScope/
+// BranchScope pairs that fork_join.hpp establishes on the serial path; a
+// procedure's P-bag empties at each sync, and bags merged into the root's
+// S-bag stay serial forever. Total overhead is near-linear: one
+// inverse-Ackermann disjoint-set operation per instrumented access.
+//
+// Everything here compiles away when PARCT_RACE_DETECT is off: the stubs
+// below keep call sites valid while active() folds to constant false.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/shadow_keys.hpp"
+
+#ifndef PARCT_RACE_DETECT
+#define PARCT_RACE_DETECT 0
+#endif
+
+#if PARCT_RACE_DETECT
+#include <stdexcept>
+#include <string>
+#endif
+
+namespace parct::analysis::spbags {
+
+// Whether the detector is compiled into this build (-DPARCT_RACE_DETECT=ON).
+constexpr bool compiled_in() { return PARCT_RACE_DETECT != 0; }
+
+// What to do when a race is found. kAbort prints the report to stderr and
+// calls std::abort() (the production/CLI behaviour); kThrow raises
+// DeterminacyRace so tests can assert on planted races.
+enum class OnRace { kAbort, kThrow };
+
+#if PARCT_RACE_DETECT
+
+namespace detail {
+struct State;
+}  // namespace detail
+
+// Thrown on a detected race under OnRace::kThrow; what() is the full
+// report (both access sites, the logical location, both fork paths).
+class DeterminacyRace : public std::runtime_error {
+ public:
+  explicit DeterminacyRace(const std::string& report)
+      : std::runtime_error(report) {}
+};
+
+// True while a Session exists *and* the caller is the session's owning
+// thread. Annotation macros and the fork-join hooks gate on this, so an
+// ON build without a live session runs the normal parallel code paths
+// with only a relaxed load + thread-id compare of overhead per hook.
+bool active() noexcept;
+
+// A detection session. Construct on the thread that will run the program
+// (outside any parallel region); all fork-join work on that thread is
+// then executed serially under SP-bags until destruction. Sessions do not
+// nest and are single-threaded by construction.
+class Session {
+ public:
+  explicit Session(OnRace on_race = OnRace::kAbort);
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  std::uint64_t races_detected() const noexcept;
+  std::uint64_t cells_tracked() const noexcept;
+  std::uint64_t procs_created() const noexcept;
+
+ private:
+  detail::State* st_;
+};
+
+// RAII for one fork2join on the serial path: ForkScope brackets the whole
+// fork (its destructor is the sync: S(F) ∪= P(F), P(F) := ∅); each branch
+// body runs inside a BranchScope (its destructor returns the child's
+// S-bag into the parent's P-bag). Exception-safe: unwinding through the
+// scopes keeps the bags consistent.
+class ForkScope {
+ public:
+  ForkScope();
+  ~ForkScope();
+  ForkScope(const ForkScope&) = delete;
+  ForkScope& operator=(const ForkScope&) = delete;
+
+ private:
+  bool live_;
+};
+
+class BranchScope {
+ public:
+  BranchScope();
+  ~BranchScope();
+  BranchScope(const BranchScope&) = delete;
+  BranchScope& operator=(const BranchScope&) = delete;
+
+ private:
+  bool live_;
+};
+
+// Shadow-cell hooks (call sites use the PARCT_SHADOW_* macros, which gate
+// on active() before evaluating the key expression).
+void on_read(ShadowKey key, const char* file, int line);
+void on_write(ShadowKey key, const char* file, int line);
+
+// Whole-RoundRecord convenience hooks: parent cell + every child slot.
+void read_record(std::uint32_t sid, std::uint32_t v, std::uint32_t round,
+                 const char* file, int line);
+void write_record(std::uint32_t sid, std::uint32_t v, std::uint32_t round,
+                  const char* file, int line);
+void read_children(std::uint32_t sid, std::uint32_t v, std::uint32_t round,
+                   const char* file, int line);
+
+// Fresh nonce for a per-call primitive buffer (0 when no session is
+// active — the cells are never consulted then).
+std::uint64_t new_buffer_id() noexcept;
+
+// Process-unique shadow id for a ContractionForest instance.
+std::uint32_t new_structure_id() noexcept;
+
+// Human-readable decoding of a key, e.g. "C[slot 2] of v=17 round=3
+// (structure 1)". Used in race reports and available to tests.
+std::string describe(ShadowKey key);
+
+#else  // !PARCT_RACE_DETECT — inert stubs, everything folds to nothing.
+
+inline constexpr bool active() noexcept { return false; }
+
+class Session {
+ public:
+  explicit Session(OnRace = OnRace::kAbort) {}
+  static constexpr std::uint64_t races_detected() noexcept { return 0; }
+  static constexpr std::uint64_t cells_tracked() noexcept { return 0; }
+  static constexpr std::uint64_t procs_created() noexcept { return 0; }
+};
+
+class ForkScope {};
+class BranchScope {};
+
+inline constexpr std::uint64_t new_buffer_id() noexcept { return 0; }
+inline constexpr std::uint32_t new_structure_id() noexcept { return 0; }
+
+#endif  // PARCT_RACE_DETECT
+
+}  // namespace parct::analysis::spbags

@@ -1,5 +1,6 @@
 #include "contraction/construct.hpp"
 
+#include "analysis/annotations.hpp"
 #include "parallel/parallel_for.hpp"
 #include "primitives/pack.hpp"
 
@@ -24,6 +25,8 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
   {
     PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseClassify]);
     par::parallel_for(0, n, [&](std::size_t k) {
+      PARCT_SHADOW_WRITE(analysis::scratch_cell(
+          analysis::ShadowArray::kConstructStatus, live[k]));
       status[live[k]] = c.classify(i, live[k]);
     });
   }
@@ -35,8 +38,11 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
     PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseAllocate]);
     par::parallel_for(0, n, [&](std::size_t k) {
       const VertexId v = live[k];
+      PARCT_SHADOW_READ(analysis::scratch_cell(
+          analysis::ShadowArray::kConstructStatus, v));
       if (status[v] != Kind::kSurvive) return;
       c.ensure_round(v, i + 1);
+      PARCT_SHADOW_WRITE_REC(c.shadow_id(), v, i + 1);
       RoundRecord& r = c.record_mut(i + 1, v);
       r.parent = v;
       r.parent_slot = 0;
@@ -52,17 +58,29 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
   const StatsTimePoint t_promote = stats_now();
   par::parallel_for(0, n, [&](std::size_t k) {
     const VertexId v = live[k];
+    PARCT_SHADOW_READ(analysis::scratch_cell(
+        analysis::ShadowArray::kConstructStatus, v));
+    PARCT_SHADOW_READ_REC(c.shadow_id(), v, i);
     const RoundRecord& r = c.record(i, v);
     switch (status[v]) {
       case Kind::kSurvive: {
         if (hooks) hooks->on_vertex_persist(i, v);
+        PARCT_SHADOW_READ(analysis::scratch_cell(
+            analysis::ShadowArray::kConstructStatus, r.parent));
         if (r.parent != v && status[r.parent] == Kind::kSurvive) {
+          PARCT_SHADOW_WRITE(analysis::record_child_cell(
+              c.shadow_id(), r.parent, i + 1, r.parent_slot));
           c.record_mut(i + 1, r.parent).children[r.parent_slot] = v;
           if (hooks) hooks->on_edge_persist(i, v, r.parent);
         }
         for (int s = 0; s < kMaxDegree; ++s) {
           const VertexId u = r.children[s];
-          if (u == kNoVertex || status[u] != Kind::kSurvive) continue;
+          if (u == kNoVertex) continue;
+          PARCT_SHADOW_READ(analysis::scratch_cell(
+              analysis::ShadowArray::kConstructStatus, u));
+          if (status[u] != Kind::kSurvive) continue;
+          PARCT_SHADOW_WRITE(
+              analysis::record_parent_cell(c.shadow_id(), u, i + 1));
           RoundRecord& ru = c.record_mut(i + 1, u);
           ru.parent = v;
           ru.parent_slot = static_cast<std::uint8_t>(s);
@@ -81,7 +99,11 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
         const VertexId u = only_child(r.children);
         // Both endpoints survive (the parent flipped tails, the child is
         // not a leaf and flipped tails), so their records exist.
+        PARCT_SHADOW_WRITE(analysis::record_child_cell(
+            c.shadow_id(), r.parent, i + 1, r.parent_slot));
         c.record_mut(i + 1, r.parent).children[r.parent_slot] = u;
+        PARCT_SHADOW_WRITE(
+            analysis::record_parent_cell(c.shadow_id(), u, i + 1));
         RoundRecord& ru = c.record_mut(i + 1, u);
         ru.parent = r.parent;
         ru.parent_slot = r.parent_slot;
@@ -98,6 +120,8 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
   // Phase D: compact the live set (the paper's C(n) subroutine).
   PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseCompact]);
   return prim::pack(live, [&](std::size_t k) {
+    PARCT_SHADOW_READ(analysis::scratch_cell(
+        analysis::ShadowArray::kConstructStatus, live[k]));
     return status[live[k]] == Kind::kSurvive;
   });
 }

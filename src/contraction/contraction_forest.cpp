@@ -24,12 +24,16 @@ void ContractionForest::init_from_forest(const forest::Forest& f) {
   par::parallel_for(0, history_.size(), [&](std::size_t i) {
     const VertexId v = static_cast<VertexId>(i);
     VertexHistory& h = history_[v];
+    PARCT_SHADOW_WRITE(analysis::duration_cell(shadow_id(), v));
     h.duration = 0;
     if (i >= f.capacity() || !f.present(v)) {
+      PARCT_SHADOW_WRITE(analysis::record_rounds_cell(shadow_id(), v));
       h.rounds.clear();
       return;
     }
+    PARCT_SHADOW_WRITE(analysis::record_rounds_cell(shadow_id(), v));
     h.rounds.resize(1);
+    PARCT_SHADOW_WRITE_REC(shadow_id(), v, 0);
     RoundRecord& r = h.rounds[0];
     r.parent = f.parent(v);
     r.parent_slot = static_cast<std::uint8_t>(f.parent_slot(v));

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/annotations.hpp"
 #include "contraction/round_record.hpp"
 #include "forest/forest.hpp"
 #include "forest/types.hpp"
@@ -38,17 +39,28 @@ class ContractionForest {
   /// update this holds the *old* duration until the vertex is dead in both
   /// the old and new forests (the algorithm needs the old value; see
   /// dynamic_update.cpp).
-  std::uint32_t duration(VertexId v) const { return history_[v].duration; }
-  void set_duration(VertexId v, std::uint32_t d) { history_[v].duration = d; }
+  std::uint32_t duration(VertexId v) const {
+    PARCT_SHADOW_READ(analysis::duration_cell(shadow_id(), v));
+    return history_[v].duration;
+  }
+  void set_duration(VertexId v, std::uint32_t d) {
+    PARCT_SHADOW_WRITE(analysis::duration_cell(shadow_id(), v));
+    history_[v].duration = d;
+  }
 
   bool alive(std::uint32_t round, VertexId v) const {
-    return round < history_[v].duration;
+    return round < duration(v);
   }
 
   const RoundRecord& record(std::uint32_t round, VertexId v) const {
+    // Indexing the rounds vector races with a concurrent ensure_round
+    // growing it; model the vector itself as one shadow cell. The
+    // caller annotates the record *fields* it actually touches.
+    PARCT_SHADOW_READ(analysis::record_rounds_cell(shadow_id(), v));
     return history_[v].rounds[round];
   }
   RoundRecord& record_mut(std::uint32_t round, VertexId v) {
+    PARCT_SHADOW_READ(analysis::record_rounds_cell(shadow_id(), v));
     return history_[v].rounds[round];
   }
 
@@ -56,16 +68,24 @@ class ContractionForest {
   /// vertex: safe from parallel loops where each iteration owns one vertex.
   void ensure_round(VertexId v, std::uint32_t round) {
     auto& rounds = history_[v].rounds;
-    if (rounds.size() <= round) rounds.resize(round + 1);
+    if (rounds.size() <= round) {
+      PARCT_SHADOW_WRITE(analysis::record_rounds_cell(shadow_id(), v));
+      rounds.resize(round + 1);
+    } else {
+      PARCT_SHADOW_READ(analysis::record_rounds_cell(shadow_id(), v));
+    }
   }
 
   std::size_t rounds_stored(VertexId v) const {
+    PARCT_SHADOW_READ(analysis::record_rounds_cell(shadow_id(), v));
     return history_[v].rounds.size();
   }
 
   /// Drops records at indices >= duration(v) (bookkeeping after a vertex
   /// dies earlier in the new forest than in the old one).
   void truncate_to_duration(VertexId v) {
+    PARCT_SHADOW_READ(analysis::duration_cell(shadow_id(), v));
+    PARCT_SHADOW_WRITE(analysis::record_rounds_cell(shadow_id(), v));
     history_[v].rounds.resize(history_[v].duration);
   }
 
@@ -78,11 +98,16 @@ class ContractionForest {
   /// How v contracts in `round`, judged from the current round-`round`
   /// records. The caller guarantees v is alive in that round.
   Kind classify(std::uint32_t round, VertexId v) const {
+    PARCT_SHADOW_READ_REC(shadow_id(), v, round);
     const RoundRecord& r = record(round, v);
     if (children_empty(r.children)) {
       return r.parent == v ? Kind::kFinalize : Kind::kRake;
     }
     const VertexId u = only_child(r.children);
+    if (u != kNoVertex) {
+      PARCT_SHADOW_READ_CHILDREN(shadow_id(), u, round);
+    }
+    // Coin flips are a pure function of (seed, round, v): no shadow cells.
     if (u != kNoVertex && !children_empty(record(round, u).children) &&
         !heads(round, r.parent) && heads(round, v)) {
       return Kind::kCompress;
@@ -112,10 +137,22 @@ class ContractionForest {
   /// Total round records currently stored (the O(n) space of §4). O(n).
   std::size_t total_records() const;
 
+#if PARCT_RACE_DETECT
+  /// Process-unique id namespacing this structure's shadow cells, so the
+  /// race detector never aliases cells of distinct structures (e.g. the
+  /// live structure vs a from-scratch oracle).
+  std::uint32_t shadow_id() const { return shadow_id_; }
+#else
+  static constexpr std::uint32_t shadow_id() { return 0; }
+#endif
+
  private:
   int degree_bound_;
   hashing::CoinSchedule coins_;
   std::vector<VertexHistory> history_;
+#if PARCT_RACE_DETECT
+  std::uint32_t shadow_id_ = analysis::spbags::new_structure_id();
+#endif
 };
 
 /// Structure equality up to child-slot layout: equal durations and, for

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "analysis/annotations.hpp"
 #include "parallel/parallel_for.hpp"
 #include "primitives/pack.hpp"
 #include "primitives/sort.hpp"
@@ -13,6 +14,26 @@ namespace {
 // Candidate-buffer width: a vertex plus its parent plus up to kMaxDegree
 // children.
 constexpr std::size_t kWidth = kMaxDegree + 2;
+
+// Shorthand for the shadow cells of the updater's scratch arrays.
+constexpr analysis::ShadowKey cand_cell(std::size_t k) {
+  return analysis::scratch_cell(analysis::ShadowArray::kCand, k);
+}
+constexpr analysis::ShadowKey mark_l_cell(VertexId v) {
+  return analysis::scratch_cell(analysis::ShadowArray::kMarkL, v);
+}
+constexpr analysis::ShadowKey mark_lx_cell(VertexId v) {
+  return analysis::scratch_cell(analysis::ShadowArray::kMarkLX, v);
+}
+constexpr analysis::ShadowKey status_g_cell(VertexId v) {
+  return analysis::scratch_cell(analysis::ShadowArray::kStatusG, v);
+}
+constexpr analysis::ShadowKey old_leaf_cell(VertexId v) {
+  return analysis::scratch_cell(analysis::ShadowArray::kOldLeaf, v);
+}
+constexpr analysis::ShadowKey new_leaf_cell(VertexId v) {
+  return analysis::scratch_cell(analysis::ShadowArray::kNewLeaf, v);
+}
 }  // namespace
 
 DynamicUpdater::DynamicUpdater(ContractionForest& c) : c_(c) {
@@ -71,6 +92,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
     const VertexId v = m.add_vertices[k];
     c_.set_duration(v, 0);
     c_.ensure_round(v, 0);
+    PARCT_SHADOW_WRITE_REC(c_.shadow_id(), v, 0);
     c_.record_mut(0, v) = RoundRecord{v, 0, kEmptyChildren};
   });
 
@@ -86,25 +108,34 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   cand_.assign(m.add_vertices.size() + 2 * num_edges, kNoVertex);
   par::parallel_for(0, m.add_vertices.size(), [&](std::size_t k) {
     const VertexId v = m.add_vertices[k];
-    if (try_claim(v, e_l0)) cand_[k] = v;
+    if (try_claim(v, e_l0)) {
+      PARCT_SHADOW_WRITE(cand_cell(k));
+      cand_[k] = v;
+    }
   });
+  const std::size_t edge_cand_base = m.add_vertices.size();
   par::parallel_for(0, num_edges, [&](std::size_t k) {
     const Edge& e = edge_at(k);
-    VertexId* out = cand_.data() + m.add_vertices.size() + 2 * k;
+    VertexId* out = cand_.data() + edge_cand_base + 2 * k;
     for (int side = 0; side < 2; ++side) {
       const VertexId v = side == 0 ? e.child : e.parent;
       if (claimed(v, e_vminus)) continue;  // deleted: tracked via X
       if (try_claim(v, e_l0)) {
+        PARCT_SHADOW_WRITE(cand_cell(edge_cand_base + 2 * k + side));
         out[side] = v;
         if (c_.duration(v) > 0) {  // pre-existing: remember leaf status
+          PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), v, 0);
+          PARCT_SHADOW_WRITE(old_leaf_cell(v));
           old_leaf_[v] =
               children_empty(c_.record(0, v).children) ? 1 : 0;
         }
       }
     }
   });
-  lset_ = prim::pack(cand_,
-                     [&](std::size_t k) { return cand_[k] != kNoVertex; });
+  lset_ = prim::pack(cand_, [&](std::size_t k) {
+    PARCT_SHADOW_READ(cand_cell(k));
+    return cand_[k] != kNoVertex;
+  });
 
   // Apply the edits to round 0: deletions first (freeing slots), then
   // insertions. Deletions touch disjoint (child, parent-slot) pairs and
@@ -112,9 +143,15 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   // so each group assigns its parent's free slots sequentially.
   par::parallel_for(0, m.remove_edges.size(), [&](std::size_t k) {
     const Edge& e = m.remove_edges[k];
+    PARCT_SHADOW_READ(
+        analysis::record_parent_cell(c_.shadow_id(), e.child, 0));
     RoundRecord& rc = c_.record_mut(0, e.child);
     assert(rc.parent == e.parent && "E- edge not present");
+    PARCT_SHADOW_WRITE(analysis::record_child_cell(c_.shadow_id(), e.parent,
+                                                   0, rc.parent_slot));
     c_.record_mut(0, e.parent).children[rc.parent_slot] = kNoVertex;
+    PARCT_SHADOW_WRITE(
+        analysis::record_parent_cell(c_.shadow_id(), e.child, 0));
     rc.parent = e.child;
     rc.parent_slot = 0;
   });
@@ -132,12 +169,18 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
       for (std::size_t j = k;
            j < inserts.size() && inserts[j].parent == inserts[k].parent;
            ++j) {
+        PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), inserts[k].parent, 0);
         const int slot = find_free_slot(rp.children, c_.degree_bound());
         if (slot < 0) {
           overflow.store(true, std::memory_order_relaxed);
           return;
         }
+        PARCT_SHADOW_WRITE(analysis::record_child_cell(
+            c_.shadow_id(), inserts[k].parent, 0,
+            static_cast<std::uint32_t>(slot)));
         rp.children[slot] = inserts[j].child;
+        PARCT_SHADOW_WRITE(analysis::record_parent_cell(
+            c_.shadow_id(), inserts[j].child, 0));
         RoundRecord& rc = c_.record_mut(0, inserts[j].child);
         rc.parent = inserts[j].parent;
         rc.parent_slot = static_cast<std::uint8_t>(slot);
@@ -160,14 +203,22 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
       // it now (claims finished at the barrier above), but only one writer
       // per flipped parent wins the L claim.
       if (claimed(v, e_vminus) || c_.duration(v) == 0) continue;
+      PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), v, 0);
       const bool now_leaf = children_empty(c_.record(0, v).children);
+      PARCT_SHADOW_READ(old_leaf_cell(v));
       if (now_leaf == (old_leaf_[v] != 0)) continue;
+      PARCT_SHADOW_READ(analysis::record_parent_cell(c_.shadow_id(), v, 0));
       const VertexId p = c_.record(0, v).parent;
-      if (p != v && try_claim(p, e_l0)) out[side] = p;
+      if (p != v && try_claim(p, e_l0)) {
+        PARCT_SHADOW_WRITE(cand_cell(2 * k + side));
+        out[side] = p;
+      }
     }
   });
-  std::vector<VertexId> flipped = prim::pack(
-      cand_, [&](std::size_t k) { return cand_[k] != kNoVertex; });
+  std::vector<VertexId> flipped = prim::pack(cand_, [&](std::size_t k) {
+    PARCT_SHADOW_READ(cand_cell(k));
+    return cand_[k] != kNoVertex;
+  });
   lset_.insert(lset_.end(), flipped.begin(), flipped.end());
 
   stats.initial_affected = lset_.size() + xset_.size();
@@ -212,15 +263,21 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   epoch_l_ = ++epoch_;
   epoch_lx_ = ++epoch_;
   par::parallel_for(0, xset_.size(), [&](std::size_t k) {
+    PARCT_SHADOW_WRITE(mark_lx_cell(xset_[k].first));
     mark_lx_[xset_[k].first] = epoch_lx_;
   });
   par::parallel_for(0, nl_count, [&](std::size_t k) {
     const VertexId v = lset_[k];
+    PARCT_SHADOW_WRITE(mark_l_cell(v));
     mark_l_[v] = epoch_l_;
+    PARCT_SHADOW_WRITE(mark_lx_cell(v));
     mark_lx_[v] = epoch_lx_;
     const Kind kind = c_.classify(i, v);
+    PARCT_SHADOW_WRITE(status_g_cell(v));
     status_g_[v] = static_cast<std::uint8_t>(kind);
     if (kind == Kind::kSurvive && c_.duration(v) > i + 1) {
+      PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), v, i + 1);
+      PARCT_SHADOW_WRITE(old_leaf_cell(v));
       old_leaf_[v] =
           children_empty(c_.record(i + 1, v).children) ? 1 : 0;
     }
@@ -234,16 +291,28 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   par::parallel_for(0, nl_count, [&](std::size_t k) {
     const VertexId v = lset_[k];
     VertexId* out = cand_.data() + k * kWidth;
-    if (try_claim(v, epoch_nlx_)) out[0] = v;
+    if (try_claim(v, epoch_nlx_)) {
+      PARCT_SHADOW_WRITE(cand_cell(k * kWidth));
+      out[0] = v;
+    }
+    PARCT_SHADOW_READ_REC(c_.shadow_id(), v, i);
     const RoundRecord& r = c_.record(i, v);
-    if (r.parent != v && try_claim(r.parent, epoch_nlx_)) out[1] = r.parent;
+    if (r.parent != v && try_claim(r.parent, epoch_nlx_)) {
+      PARCT_SHADOW_WRITE(cand_cell(k * kWidth + 1));
+      out[1] = r.parent;
+    }
     for (int s = 0; s < kMaxDegree; ++s) {
       const VertexId u = r.children[s];
-      if (u != kNoVertex && try_claim(u, epoch_nlx_)) out[2 + s] = u;
+      if (u != kNoVertex && try_claim(u, epoch_nlx_)) {
+        PARCT_SHADOW_WRITE(cand_cell(k * kWidth + 2 + s));
+        out[2 + s] = u;
+      }
     }
   });
-  std::vector<VertexId> nl = prim::pack(
-      cand_, [&](std::size_t k) { return cand_[k] != kNoVertex; });
+  std::vector<VertexId> nl = prim::pack(cand_, [&](std::size_t k) {
+    PARCT_SHADOW_READ(cand_cell(k));
+    return cand_[k] != kNoVertex;
+  });
   stats.total_neighborhood += nl.size();
   if constexpr (kStatsEnabled) {
     stats.neighborhood_per_round.push_back(
@@ -262,20 +331,31 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
     const VertexId v = nl[k];
     if (c_.duration(v) > i + 1) {
       RoundRecord& r = c_.record_mut(i + 1, v);
+      PARCT_SHADOW_READ(
+          analysis::record_parent_cell(c_.shadow_id(), v, i + 1));
       if (r.parent != v && (in_lx(r.parent) || in_lx(v))) {
+        PARCT_SHADOW_WRITE(
+            analysis::record_parent_cell(c_.shadow_id(), v, i + 1));
         r.parent = v;
         r.parent_slot = 0;
       }
       for (int s = 0; s < kMaxDegree; ++s) {
+        PARCT_SHADOW_READ(analysis::record_child_cell(
+            c_.shadow_id(), v, i + 1, static_cast<std::uint32_t>(s)));
         if (r.children[s] != kNoVertex &&
             (in_lx(r.children[s]) || in_lx(v))) {
+          PARCT_SHADOW_WRITE(analysis::record_child_cell(
+              c_.shadow_id(), v, i + 1, static_cast<std::uint32_t>(s)));
           r.children[s] = kNoVertex;
         }
       }
-    } else if (in_l(v) &&
-               static_cast<Kind>(status_g_[v]) == Kind::kSurvive) {
-      c_.ensure_round(v, i + 1);
-      c_.record_mut(i + 1, v) = RoundRecord{v, 0, kEmptyChildren};
+    } else if (in_l(v)) {
+      PARCT_SHADOW_READ(status_g_cell(v));
+      if (static_cast<Kind>(status_g_[v]) == Kind::kSurvive) {
+        c_.ensure_round(v, i + 1);
+        PARCT_SHADOW_WRITE_REC(c_.shadow_id(), v, i + 1);
+        c_.record_mut(i + 1, v) = RoundRecord{v, 0, kEmptyChildren};
+      }
     }
   });
   phase_done(stats.phase_seconds[kPhaseErase]);
@@ -288,17 +368,22 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   par::parallel_for(0, nl.size(), [&](std::size_t k) {
     const VertexId v = nl[k];
     const Kind kind = kind_of(i, v);
+    PARCT_SHADOW_READ_REC(c_.shadow_id(), v, i);
     const RoundRecord& r = c_.record(i, v);
     switch (kind) {
       case Kind::kSurvive: {
         if (hooks) hooks->on_vertex_persist(i, v);
         if (r.parent != v && survives(i, r.parent)) {
+          PARCT_SHADOW_WRITE(analysis::record_child_cell(
+              c_.shadow_id(), r.parent, i + 1, r.parent_slot));
           c_.record_mut(i + 1, r.parent).children[r.parent_slot] = v;
           if (hooks) hooks->on_edge_persist(i, v, r.parent);
         }
         for (int s = 0; s < kMaxDegree; ++s) {
           const VertexId u = r.children[s];
           if (u == kNoVertex || !survives(i, u)) continue;
+          PARCT_SHADOW_WRITE(
+              analysis::record_parent_cell(c_.shadow_id(), u, i + 1));
           RoundRecord& ru = c_.record_mut(i + 1, u);
           ru.parent = v;
           ru.parent_slot = static_cast<std::uint8_t>(s);
@@ -313,7 +398,11 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
         break;
       case Kind::kCompress: {
         const VertexId u = only_child(r.children);
+        PARCT_SHADOW_WRITE(analysis::record_child_cell(
+            c_.shadow_id(), r.parent, i + 1, r.parent_slot));
         c_.record_mut(i + 1, r.parent).children[r.parent_slot] = u;
+        PARCT_SHADOW_WRITE(
+            analysis::record_parent_cell(c_.shadow_id(), u, i + 1));
         RoundRecord& ru = c_.record_mut(i + 1, u);
         ru.parent = r.parent;
         ru.parent_slot = r.parent_slot;
@@ -327,8 +416,11 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   // Phase E: new (G) leaf statuses at round i+1 (the ell' of Fig. 4).
   par::parallel_for(0, nl_count, [&](std::size_t k) {
     const VertexId v = lset_[k];
+    PARCT_SHADOW_READ(status_g_cell(v));
     if (static_cast<Kind>(status_g_[v]) == Kind::kSurvive &&
         c_.duration(v) > i + 1) {
+      PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), v, i + 1);
+      PARCT_SHADOW_WRITE(new_leaf_cell(v));
       new_leaf_[v] =
           children_empty(c_.record(i + 1, v).children) ? 1 : 0;
     }
@@ -349,33 +441,60 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   par::parallel_for(0, nl_count, [&](std::size_t k) {
     const VertexId v = lset_[k];
     VertexId* out = cand_.data() + k * kWidth;
+    PARCT_SHADOW_READ(status_g_cell(v));
     if (static_cast<Kind>(status_g_[v]) == Kind::kSurvive) {
-      if (try_claim(v, e_next)) out[0] = v;  // (b)
+      if (try_claim(v, e_next)) {  // (b)
+        PARCT_SHADOW_WRITE(cand_cell(k * kWidth));
+        out[0] = v;
+      }
       const std::uint32_t dur_f = c_.duration(v);
       if (dur_f == i + 1) {  // (c)
+        PARCT_SHADOW_READ_REC(c_.shadow_id(), v, i + 1);
         const RoundRecord& r1 = c_.record(i + 1, v);
         if (r1.parent != v && try_claim(r1.parent, e_next)) {
+          PARCT_SHADOW_WRITE(cand_cell(k * kWidth + 1));
           out[1] = r1.parent;
         }
         for (int s = 0; s < kMaxDegree; ++s) {
           const VertexId u = r1.children[s];
-          if (u != kNoVertex && try_claim(u, e_next)) out[2 + s] = u;
+          if (u != kNoVertex && try_claim(u, e_next)) {
+            PARCT_SHADOW_WRITE(cand_cell(k * kWidth + 2 + s));
+            out[2 + s] = u;
+          }
         }
-      } else if (dur_f > i + 1 && new_leaf_[v] != old_leaf_[v]) {  // (d)
-        const VertexId p = c_.record(i + 1, v).parent;
-        if (p != v && try_claim(p, e_next)) out[1] = p;
+      } else if (dur_f > i + 1) {  // (d)
+        PARCT_SHADOW_READ(new_leaf_cell(v));
+        PARCT_SHADOW_READ(old_leaf_cell(v));
+        if (new_leaf_[v] != old_leaf_[v]) {
+          PARCT_SHADOW_READ(
+              analysis::record_parent_cell(c_.shadow_id(), v, i + 1));
+          const VertexId p = c_.record(i + 1, v).parent;
+          if (p != v && try_claim(p, e_next)) {
+            PARCT_SHADOW_WRITE(cand_cell(k * kWidth + 1));
+            out[1] = p;
+          }
+        }
       }
     } else {  // (a)
+      PARCT_SHADOW_READ_REC(c_.shadow_id(), v, i);
       const RoundRecord& r = c_.record(i, v);
-      if (r.parent != v && try_claim(r.parent, e_next)) out[1] = r.parent;
+      if (r.parent != v && try_claim(r.parent, e_next)) {
+        PARCT_SHADOW_WRITE(cand_cell(k * kWidth + 1));
+        out[1] = r.parent;
+      }
       for (int s = 0; s < kMaxDegree; ++s) {
         const VertexId u = r.children[s];
-        if (u != kNoVertex && try_claim(u, e_next)) out[2 + s] = u;
+        if (u != kNoVertex && try_claim(u, e_next)) {
+          PARCT_SHADOW_WRITE(cand_cell(k * kWidth + 2 + s));
+          out[2 + s] = u;
+        }
       }
     }
   });
-  std::vector<VertexId> next_l = prim::pack(
-      cand_, [&](std::size_t k) { return cand_[k] != kNoVertex; });
+  std::vector<VertexId> next_l = prim::pack(cand_, [&](std::size_t k) {
+    PARCT_SHADOW_READ(cand_cell(k));
+    return cand_[k] != kNoVertex;
+  });
   phase_done(stats.phase_seconds[kPhaseSpread]);
 
   // Phase G: X bookkeeping (Fig. 3 line 18, Fig. 4 lines on X): members of

@@ -85,6 +85,11 @@ class DynamicUpdater {
   /// replaces them with the next round's sets.
   void propagate(std::uint32_t i, EventHooks* hooks, UpdateStats& stats);
 
+  // claim_ is deliberately *not* shadow-instrumented: competing CAS claims
+  // of one vertex are commutative (exactly one winner, and the resulting
+  // claimed-set is schedule-independent), so they are not determinacy
+  // races even though they contend. The detector instead checks what the
+  // winners go on to write (cand_ slots, record cells).
   bool try_claim(VertexId v, std::uint64_t epoch) {
     std::uint64_t old = claim_[v].load(std::memory_order_relaxed);
     if (old == epoch) return false;
@@ -95,17 +100,30 @@ class DynamicUpdater {
     return claim_[v].load(std::memory_order_relaxed) == epoch;
   }
 
-  bool in_l(VertexId v) const { return mark_l_[v] == epoch_l_; }
+  bool in_l(VertexId v) const {
+    PARCT_SHADOW_READ(
+        analysis::scratch_cell(analysis::ShadowArray::kMarkL, v));
+    return mark_l_[v] == epoch_l_;
+  }
   /// v affected this round (in L or X) — the membership test of the erase
   /// phase: only edges incident on *affected* vertices are deleted; edges
   /// between unaffected vertices are identical in both forests (Lemma 1)
   /// and must be kept, since their (possibly unaffected, outside-NL)
   /// creators do not re-promote them.
-  bool in_lx(VertexId v) const { return mark_lx_[v] == epoch_lx_; }
+  bool in_lx(VertexId v) const {
+    PARCT_SHADOW_READ(
+        analysis::scratch_cell(analysis::ShadowArray::kMarkLX, v));
+    return mark_lx_[v] == epoch_lx_;
+  }
   /// Contraction kind in the *new* forest this round; valid for any vertex
   /// alive in G at round i.
   Kind kind_of(std::uint32_t i, VertexId v) const {
-    return in_l(v) ? static_cast<Kind>(status_g_[v]) : c_.classify(i, v);
+    if (in_l(v)) {
+      PARCT_SHADOW_READ(
+          analysis::scratch_cell(analysis::ShadowArray::kStatusG, v));
+      return static_cast<Kind>(status_g_[v]);
+    }
+    return c_.classify(i, v);
   }
   bool survives(std::uint32_t i, VertexId v) const {
     return kind_of(i, v) == Kind::kSurvive;

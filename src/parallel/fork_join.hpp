@@ -3,6 +3,7 @@
 
 #include <utility>
 
+#include "analysis/sp_bags.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace parct::par {
@@ -31,6 +32,23 @@ inline void join(Task& t) {
 /// Exceptions from either branch are rethrown (f2's wins if both throw).
 template <typename F1, typename F2>
 void fork2join(F1&& f1, F2&& f2) {
+#if PARCT_RACE_DETECT
+  // Under an SP-bags detection session the fork runs serially on the
+  // session thread: each branch is a procedure (BranchScope) and the
+  // enclosing ForkScope's destructor is the sync. See analysis/sp_bags.hpp.
+  if (analysis::spbags::active()) {
+    analysis::spbags::ForkScope fork;
+    {
+      analysis::spbags::BranchScope left;
+      f1();
+    }
+    {
+      analysis::spbags::BranchScope right;
+      f2();
+    }
+    return;
+  }
+#endif
   if (scheduler::num_workers() == 1) {
     f1();
     f2();

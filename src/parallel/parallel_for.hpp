@@ -22,6 +22,26 @@ inline std::size_t default_grain(std::size_t n) {
   return std::max<std::size_t>(1, n / std::max<std::size_t>(1, leaves));
 }
 
+/// True while an SP-bags detection session drives this thread: loops and
+/// primitives must then take their *parallel* code paths (serially, at the
+/// finest grain) so the detector models the full logical fork tree.
+/// Constant false when PARCT_RACE_DETECT is off — the optimizer deletes
+/// the checks.
+inline bool race_detect_forced() {
+#if PARCT_RACE_DETECT
+  return analysis::spbags::active();
+#else
+  return false;
+#endif
+}
+
+/// The canonical "degenerate to a plain sequential loop" test for the
+/// primitives: true on a 1-worker pool, unless a detection session forces
+/// the parallel shape.
+inline bool sequential_mode() {
+  return !race_detect_forced() && scheduler::num_workers() == 1;
+}
+
 namespace detail {
 
 template <typename F>
@@ -68,6 +88,13 @@ template <typename F>
 void parallel_for(std::size_t lo, std::size_t hi, const F& f,
                   std::size_t grain = 0) {
   if (hi <= lo) return;
+  if (race_detect_forced()) {
+    // Grain is a performance hint, not a semantic boundary: every
+    // iteration may run in parallel with every other, so the detector
+    // models the loop at grain 1.
+    detail::parallel_for_rec(lo, hi, 1, f);
+    return;
+  }
   const std::size_t n = hi - lo;
   if (scheduler::num_workers() == 1 || n == 1) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
@@ -85,11 +112,12 @@ template <typename Body>
 void parallel_for_blocked(std::size_t lo, std::size_t hi, const Body& body,
                           std::size_t grain = 0) {
   if (hi <= lo) return;
-  if (scheduler::num_workers() == 1) {
+  if (!race_detect_forced() && scheduler::num_workers() == 1) {
     body(lo, hi);
     return;
   }
   if (grain == 0) grain = default_grain(hi - lo);
+  if (race_detect_forced()) grain = 1;  // blocks may be any partition
   struct Rec {
     static void run(std::size_t lo, std::size_t hi, std::size_t grain,
                     const Body& body) {
@@ -111,6 +139,9 @@ template <typename T, typename Map, typename Combine>
 T parallel_reduce(std::size_t lo, std::size_t hi, T identity, const Map& map,
                   const Combine& combine, std::size_t grain = 0) {
   if (hi <= lo) return identity;
+  if (race_detect_forced()) {
+    return detail::parallel_reduce_rec(lo, hi, 1, identity, map, combine);
+  }
   const std::size_t n = hi - lo;
   if (scheduler::num_workers() == 1) {
     T acc = identity;

@@ -20,6 +20,14 @@ class Reducer {
 
   /// The calling worker's accumulator. Only touch from inside tasks run by
   /// the pool this reducer was created under (same worker count).
+  ///
+  /// Deliberately *not* shadow-instrumented for the SP-bags detector:
+  /// slots are worker-private by construction (indexing by worker_id), so
+  /// two logically parallel tasks touching the same slot never run
+  /// concurrently — they are serialized on the worker that owns it, and
+  /// reduce() runs after the join. Under a detector session the whole
+  /// program executes on one worker anyway, collapsing every access to
+  /// slot 0 with no logical conflict.
   T& local() { return slots_[scheduler::worker_id()].value; }
 
   /// Combines all worker slots. Call after the parallel region completes.

@@ -1,6 +1,7 @@
 #include "parallel/scheduler.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
 #include <cstdlib>
 #include <memory>
@@ -180,10 +181,25 @@ void destroy_pool(Pool* pool) {
   delete pool;
 }
 
+// Sanity cap on PARCT_NUM_THREADS: well above any real machine, low
+// enough that a typo cannot ask for millions of threads.
+constexpr long kMaxWorkerCount = 1024;
+
 unsigned default_worker_count() {
+  // getenv is called once, before any workers exist, and nothing in this
+  // process calls setenv — the concurrency-mt-unsafe hit does not apply.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* env = std::getenv("PARCT_NUM_THREADS")) {
-    int v = std::atoi(env);
-    if (v >= 1) return static_cast<unsigned>(v);
+    // strtol (not atoi): trailing garbage and out-of-range values must be
+    // rejected, not silently truncated — "4x" or "99999999999" falling
+    // back to the hardware count beats running with a nonsense pool size.
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    if (errno == 0 && end != env && *end == '\0' && v >= 1 &&
+        v <= kMaxWorkerCount) {
+      return static_cast<unsigned>(v);
+    }
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

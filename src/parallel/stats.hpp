@@ -36,6 +36,14 @@ struct PoolCounters {
 /// Snapshot of the active pool's counters, monotone since pool creation or
 /// the last reset(). Starts the pool on first use. Safe to call while work
 /// is running; per-worker values are then approximate (relaxed reads).
+///
+/// Concurrency contract (reviewed under clang-tidy's concurrency-* pass):
+/// every counter is a std::atomic incremented only by its owning worker
+/// and read with relaxed loads here, so individual values never tear; a
+/// snapshot taken mid-run is NOT a consistent cross-counter cut, though —
+/// totals can lag per-worker values by in-flight increments. Callers that
+/// need exact totals snapshot at quiescence (after the joining call
+/// returns), which is what the tests do.
 PoolCounters snapshot();
 
 /// Zeroes all counters of the active pool. Call between measurement

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/annotations.hpp"
 #include "parallel/parallel_for.hpp"
 #include "primitives/scan.hpp"
 
@@ -16,23 +17,33 @@ namespace parct::prim {
 template <typename Pred>
 std::vector<std::uint32_t> pack_index(std::size_t n, const Pred& pred) {
   if (n == 0) return {};
-  if (par::scheduler::num_workers() == 1) {
+  if (par::sequential_mode()) {
     std::vector<std::uint32_t> out;
     for (std::size_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(static_cast<std::uint32_t>(i));
     }
     return out;
   }
+  PARCT_SHADOW_BUFFER(shadow_offsets);
+  PARCT_SHADOW_BUFFER(shadow_out);
   std::vector<std::uint32_t> offsets(n);
   par::parallel_for(0, n, [&](std::size_t i) {
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_offsets, i));
     offsets[i] = pred(i) ? 1u : 0u;
   });
   const std::uint32_t total = exclusive_scan_inplace(offsets);
   std::vector<std::uint32_t> out(total);
   par::parallel_for(0, n, [&](std::size_t i) {
+    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, i));
+    if (i + 1 < n) PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, i + 1));
     const bool keep = (i + 1 < n) ? offsets[i + 1] != offsets[i]
                                   : offsets[i] != total;
-    if (keep) out[offsets[i]] = static_cast<std::uint32_t>(i);
+    // The write below proves the scatter is a permutation: two iterations
+    // landing on the same output slot would be a write-write race.
+    if (keep) {
+      PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_out, offsets[i]));
+      out[offsets[i]] = static_cast<std::uint32_t>(i);
+    }
   });
   return out;
 }
@@ -42,23 +53,31 @@ template <typename T, typename Pred>
 std::vector<T> pack(const std::vector<T>& in, const Pred& pred) {
   const std::size_t n = in.size();
   if (n == 0) return {};
-  if (par::scheduler::num_workers() == 1) {
+  if (par::sequential_mode()) {
     std::vector<T> out;
     for (std::size_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(in[i]);
     }
     return out;
   }
+  PARCT_SHADOW_BUFFER(shadow_offsets);
+  PARCT_SHADOW_BUFFER(shadow_out);
   std::vector<std::uint32_t> offsets(n);
   par::parallel_for(0, n, [&](std::size_t i) {
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_offsets, i));
     offsets[i] = pred(i) ? 1u : 0u;
   });
   const std::uint32_t total = exclusive_scan_inplace(offsets);
   std::vector<T> out(total);
   par::parallel_for(0, n, [&](std::size_t i) {
+    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, i));
+    if (i + 1 < n) PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, i + 1));
     const bool keep = (i + 1 < n) ? offsets[i + 1] != offsets[i]
                                   : offsets[i] != total;
-    if (keep) out[offsets[i]] = in[i];
+    if (keep) {
+      PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_out, offsets[i]));
+      out[offsets[i]] = in[i];
+    }
   });
   return out;
 }

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "analysis/annotations.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace parct::prim {
@@ -18,7 +19,8 @@ template <typename T>
 T exclusive_scan(const T* in, T* out, std::size_t n) {
   if (n == 0) return T{};
   const std::size_t kBlock = 4096;
-  if (n <= kBlock || par::scheduler::num_workers() == 1) {
+  if (!par::race_detect_forced() &&
+      (n <= kBlock || par::scheduler::num_workers() == 1)) {
     T acc{};
     for (std::size_t i = 0; i < n; ++i) {
       T v = in[i];
@@ -27,27 +29,40 @@ T exclusive_scan(const T* in, T* out, std::size_t n) {
     }
     return acc;
   }
+  // Shadow cells: in/out share one logical array per call (aliasing is
+  // allowed and the read of in[i] always precedes the write of out[i]).
+  PARCT_SHADOW_BUFFER(shadow_io);
+  PARCT_SHADOW_BUFFER(shadow_sums);
   const std::size_t num_blocks = (n + kBlock - 1) / kBlock;
   std::vector<T> block_sums(num_blocks);
   par::parallel_for(0, num_blocks, [&](std::size_t b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(lo + kBlock, n);
     T acc{};
-    for (std::size_t i = lo; i < hi; ++i) acc = acc + in[i];
+    for (std::size_t i = lo; i < hi; ++i) {
+      PARCT_SHADOW_READ(analysis::buffer_cell(shadow_io, i));
+      acc = acc + in[i];
+    }
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_sums, b));
     block_sums[b] = acc;
   }, 1);
   T total{};
   for (std::size_t b = 0; b < num_blocks; ++b) {
+    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_sums, b));
     T v = block_sums[b];
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_sums, b));
     block_sums[b] = total;
     total = total + v;
   }
   par::parallel_for(0, num_blocks, [&](std::size_t b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(lo + kBlock, n);
+    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_sums, b));
     T acc = block_sums[b];
     for (std::size_t i = lo; i < hi; ++i) {
+      PARCT_SHADOW_READ(analysis::buffer_cell(shadow_io, i));
       T v = in[i];
+      PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_io, i));
       out[i] = acc;
       acc = acc + v;
     }
@@ -73,7 +88,8 @@ T inclusive_scan(const T* in, T* out, std::size_t n) {
   if (n == 0) return T{};
   // Exclusive scan shifted by one, folding the element back in.
   const std::size_t kBlock = 4096;
-  if (n <= kBlock || par::scheduler::num_workers() == 1) {
+  if (!par::race_detect_forced() &&
+      (n <= kBlock || par::scheduler::num_workers() == 1)) {
     T acc{};
     for (std::size_t i = 0; i < n; ++i) {
       acc = acc + in[i];
@@ -81,27 +97,38 @@ T inclusive_scan(const T* in, T* out, std::size_t n) {
     }
     return acc;
   }
+  PARCT_SHADOW_BUFFER(shadow_io);
+  PARCT_SHADOW_BUFFER(shadow_sums);
   const std::size_t num_blocks = (n + kBlock - 1) / kBlock;
   std::vector<T> block_sums(num_blocks);
   par::parallel_for(0, num_blocks, [&](std::size_t b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(lo + kBlock, n);
     T acc{};
-    for (std::size_t i = lo; i < hi; ++i) acc = acc + in[i];
+    for (std::size_t i = lo; i < hi; ++i) {
+      PARCT_SHADOW_READ(analysis::buffer_cell(shadow_io, i));
+      acc = acc + in[i];
+    }
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_sums, b));
     block_sums[b] = acc;
   }, 1);
   T total{};
   for (std::size_t b = 0; b < num_blocks; ++b) {
+    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_sums, b));
     T v = block_sums[b];
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_sums, b));
     block_sums[b] = total;
     total = total + v;
   }
   par::parallel_for(0, num_blocks, [&](std::size_t b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(lo + kBlock, n);
+    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_sums, b));
     T acc = block_sums[b];
     for (std::size_t i = lo; i < hi; ++i) {
+      PARCT_SHADOW_READ(analysis::buffer_cell(shadow_io, i));
       acc = acc + in[i];
+      PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_io, i));
       out[i] = acc;
     }
   }, 1);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "parallel/fork_join.hpp"
+#include "parallel/parallel_for.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace parct::prim {
@@ -37,13 +38,21 @@ template <typename T, typename Less = std::less<T>>
 void parallel_sort(std::vector<T>& v, Less less = Less{}) {
   const std::size_t n = v.size();
   if (n < 2) return;
-  if (par::scheduler::num_workers() == 1 || n <= 4096) {
+  if (!par::race_detect_forced() &&
+      (par::scheduler::num_workers() == 1 || n <= 4096)) {
     std::stable_sort(v.begin(), v.end(), less);
     return;
   }
   std::vector<T> buffer(n);
+  // Under race detection take the parallel shape even for small inputs so
+  // the detector sees the real fork tree (the sort's own ranges are
+  // disjoint by construction; annotated accesses in user comparators get
+  // the proper bags).
   const std::size_t grain =
-      std::max<std::size_t>(4096, n / (8 * par::scheduler::num_workers()));
+      par::race_detect_forced()
+          ? std::size_t{32}
+          : std::max<std::size_t>(4096,
+                                  n / (8 * par::scheduler::num_workers()));
   detail::merge_sort_rec(v.data(), buffer.data(), n, less, grain);
 }
 

@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "analysis/sp_bags.hpp"
 #include "baseline/euler_tour_tree.hpp"
 #include "baseline/link_cut_tree.hpp"
 #include "contraction/construct.hpp"
@@ -74,9 +75,7 @@ long brute_subtree_sum(const Forest& f, const std::vector<long>& w,
   return acc;
 }
 
-}  // namespace
-
-RunResult run_trace(const Trace& t, const RunOptions& opts) {
+RunResult run_trace_impl(const Trace& t, const RunOptions& opts) {
   RunResult res;
   par::scheduler::initialize(t.num_workers == 0 ? 1 : t.num_workers,
                              t.steal_seed);
@@ -250,6 +249,35 @@ RunResult run_trace(const Trace& t, const RunOptions& opts) {
     }
   }
   return res;
+}
+
+}  // namespace
+
+RunResult run_trace(const Trace& t, const RunOptions& opts) {
+  if (opts.race_detect) {
+#if PARCT_RACE_DETECT
+    // One session for the whole run: construct, every update, and every
+    // from-scratch oracle all execute serially under the detector, so a
+    // race anywhere in the trace's execution is caught deterministically.
+    analysis::spbags::Session session(analysis::spbags::OnRace::kThrow);
+    try {
+      return run_trace_impl(t, opts);
+    } catch (const analysis::spbags::DeterminacyRace& e) {
+      RunResult res;
+      res.ok = false;
+      res.failure = e.what();
+      return res;
+    }
+#else
+    RunResult res;
+    res.ok = false;
+    res.failure =
+        "race detection requested, but this binary was built without "
+        "-DPARCT_RACE_DETECT=ON";
+    return res;
+#endif
+  }
+  return run_trace_impl(t, opts);
 }
 
 std::string dump_replay(const Trace& t) {

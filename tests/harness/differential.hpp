@@ -34,6 +34,13 @@ struct RunOptions {
   /// Re-simulate the final structure with the independent sequential
   /// checker (contract::check_valid).
   bool validate_final = true;
+  /// Run the whole trace under an SP-bags determinacy-race detector
+  /// session (analysis/sp_bags.hpp): the run executes serially, every
+  /// instrumented shared access is checked, and a detected race fails the
+  /// run with the detector's two-site report. Requires a binary built with
+  /// -DPARCT_RACE_DETECT=ON; otherwise the run fails immediately with an
+  /// explanatory message.
+  bool race_detect = false;
 };
 
 struct RunResult {

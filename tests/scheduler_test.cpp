@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "parallel/fork_join.hpp"
@@ -196,6 +198,32 @@ TEST_F(SchedulerTest, StatsReportStealsOnImbalancedWork) {
   }
   EXPECT_EQ(counters.steals, steals);
   EXPECT_EQ(counters.tasks_executed, tasks);
+}
+
+TEST_F(SchedulerTest, EnvWorkerCountParsesStrictly) {
+  // PARCT_NUM_THREADS must be a whole in-range positive integer; anything
+  // else (garbage suffix, zero, negative, overflow) falls back to the
+  // hardware default instead of being silently truncated.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned fallback = hw == 0 ? 1 : hw;
+  struct Case {
+    const char* env;
+    unsigned expect;
+  };
+  const Case cases[] = {
+      {"3", 3u},          {"1", 1u},
+      {"3x", fallback},   {"abc", fallback},
+      {"0", fallback},    {"-2", fallback},
+      {"", fallback},     {"99999999999999999999", fallback},
+      {"4096", fallback},  // above the sanity cap
+  };
+  for (const Case& c : cases) {
+    ASSERT_EQ(setenv("PARCT_NUM_THREADS", c.env, 1), 0);
+    scheduler::initialize(0);  // 0 = use the environment/hardware default
+    EXPECT_EQ(scheduler::num_workers(), c.expect) << "env=\"" << c.env
+                                                  << "\"";
+  }
+  unsetenv("PARCT_NUM_THREADS");
 }
 
 TEST_F(SchedulerTest, StatsResetZeroesCounters) {

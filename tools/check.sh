@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# One-script local runner for the parct static-analysis gate
+# (docs/STATIC_ANALYSIS.md): clang-tidy over the exported compile
+# commands, cppcheck over src/, and the project lint (lint_parallel.py).
+#
+#   tools/check.sh                 # run what is installed, skip the rest
+#   tools/check.sh --require-tools # CI mode: a missing tool is a failure
+#
+# Exit status: 0 all run checks clean, 1 findings, 2 missing tools under
+# --require-tools.
+set -u -o pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${PARCT_CHECK_BUILD_DIR:-$REPO/build-analysis}"
+REQUIRE_TOOLS=0
+[ "${1:-}" = "--require-tools" ] && REQUIRE_TOOLS=1
+
+failures=0
+skipped=0
+
+have() { command -v "$1" >/dev/null 2>&1; }
+
+missing_tool() {
+  if [ "$REQUIRE_TOOLS" -eq 1 ]; then
+    echo "check.sh: REQUIRED tool '$1' not found" >&2
+    exit 2
+  fi
+  echo "check.sh: '$1' not installed locally — skipping (CI runs it)"
+  skipped=$((skipped + 1))
+}
+
+# --- compile database (needed by clang-tidy; cheap to regenerate) -------
+if have clang-tidy || have cppcheck; then
+  cmake -B "$BUILD_DIR" -S "$REPO" -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+fi
+
+# --- clang-tidy (profile: .clang-tidy; warnings are errors) -------------
+if have clang-tidy; then
+  echo "== clang-tidy =="
+  mapfile -t TUS < <(find "$REPO/src" "$REPO/tools" -name '*.cpp' | sort)
+  if have run-clang-tidy; then
+    run-clang-tidy -p "$BUILD_DIR" -quiet "${TUS[@]}" || failures=1
+  else
+    clang-tidy -p "$BUILD_DIR" --quiet "${TUS[@]}" || failures=1
+  fi
+else
+  missing_tool clang-tidy
+fi
+
+# --- cppcheck -----------------------------------------------------------
+if have cppcheck; then
+  echo "== cppcheck =="
+  cppcheck --enable=warning,performance,portability \
+    --error-exitcode=1 --inline-suppr --quiet \
+    --suppressions-list="$REPO/tools/cppcheck-suppressions.txt" \
+    --std=c++20 -I "$REPO/src" \
+    -DPARCT_RACE_DETECT=1 \
+    "$REPO/src" || failures=1
+else
+  missing_tool cppcheck
+fi
+
+# --- project lint (always available: python3 only) ----------------------
+echo "== lint_parallel.py =="
+python3 "$REPO/tools/lint_parallel.py" --self-test || failures=1
+python3 "$REPO/tools/lint_parallel.py" || failures=1
+
+echo
+if [ "$failures" -ne 0 ]; then
+  echo "check.sh: FAILURES (see above)"
+  exit 1
+fi
+if [ "$skipped" -ne 0 ]; then
+  echo "check.sh: clean ($skipped tool(s) skipped locally)"
+else
+  echo "check.sh: clean"
+fi

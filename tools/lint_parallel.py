@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""Project-specific parallelism lint for the parct codebase.
+
+Rules (see docs/STATIC_ANALYSIS.md):
+
+  raw-thread      std::thread / pthread_create outside src/parallel/ —
+                  all parallelism must flow through the fork-join runtime
+                  so the SP-bags detector and the scheduler see it.
+  mutable-global  namespace-scope mutable globals in src/ that are not
+                  std::atomic / mutex / condition_variable / thread_local /
+                  const / constexpr — unsynchronized globals are how
+                  "works on my machine" races ship.
+  volatile-sync   `volatile` used on shared state — volatile is not a
+                  synchronization primitive in C++.
+  shadow-write    assignments to instrumented shared arrays inside
+                  parallel_for bodies of instrumented files without a
+                  PARCT_SHADOW_WRITE/WRITE_REC annotation nearby — writes
+                  the race detector cannot see defeat the instrumentation.
+
+Suppression: a line (or the line above it) containing
+`// parct-lint: allow(<rule>)` suppresses that rule for that line; the
+marker doubles as an in-tree justification, so every suppression is
+greppable and reviewed.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Files whose parallel_for bodies are fully shadow-annotated; the
+# shadow-write rule only applies here. Keep in sync with
+# docs/STATIC_ANALYSIS.md when instrumenting new files.
+INSTRUMENTED = {
+    "src/contraction/construct.cpp",
+    "src/contraction/dynamic_update.cpp",
+    "src/contraction/contraction_forest.cpp",
+    "src/primitives/scan.hpp",
+    "src/primitives/pack.hpp",
+    "src/primitives/counting.hpp",
+}
+
+# Instrumented shared arrays: writes to these inside parallel loop bodies
+# must carry a shadow annotation within the preceding few lines.
+SHARED_ARRAYS = re.compile(
+    r"\b(status|mark_l_|mark_lx_|status_g_|old_leaf_|new_leaf_|cand_|"
+    r"offsets|sums|counts|local)\s*\[[^\]]+\]\s*(=|\+=|-=)[^=]"
+)
+
+SHADOW_ANNOTATION = re.compile(r"PARCT_SHADOW_WRITE(_REC)?\b")
+
+# std::thread::id is plain bookkeeping data, not thread creation.
+RAW_THREAD = re.compile(r"\bstd::thread\b(?!::)|\bpthread_create\b")
+
+VOLATILE = re.compile(r"\bvolatile\b")
+
+# Namespace-scope mutable globals: a declaration at zero brace depth (or
+# inside a plain namespace) that is not const/constexpr/atomic/etc.
+GLOBAL_DECL = re.compile(
+    r"^(static\s+)?(?!const\b|constexpr\b|inline\s+const|using\b|typedef\b|"
+    r"namespace\b|class\b|struct\b|enum\b|template\b|extern\b|return\b|"
+    r"#|//|/\*)"
+    r"(?P<type>[A-Za-z_][A-Za-z0-9_:<>,\s\*&]*?)\s+"
+    r"(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*(=|\{|;)"
+)
+
+ALLOWED_GLOBAL_TYPES = re.compile(
+    r"std::atomic\b|std::mutex\b|std::shared_mutex\b|"
+    r"std::condition_variable\b|std::once_flag\b|thread_local\b|"
+    r"\bconst\b|\bconstexpr\b"
+)
+
+ALLOW_MARKER = re.compile(r"//\s*parct-lint:\s*allow\((?P<rules>[a-z\-,\s]+)\)")
+
+
+def allowed(rule: str, lines: list[str], idx: int) -> bool:
+    """True if line idx or the line above carries an allow marker for rule."""
+    for j in (idx, idx - 1):
+        if 0 <= j < len(lines):
+            m = ALLOW_MARKER.search(lines[j])
+            if m and rule in [r.strip() for r in m.group("rules").split(",")]:
+                return True
+    return False
+
+
+def strip_strings(line: str) -> str:
+    """Blanks out string/char literals so their contents never match rules."""
+    return re.sub(r'"(\\.|[^"\\])*"|\'(\\.|[^\'\\])*\'', '""', line)
+
+
+def lint_file(path: Path, findings: list[str]) -> None:
+    rel = path.relative_to(REPO).as_posix()
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except UnicodeDecodeError:
+        return
+    in_parallel_for = rel in INSTRUMENTED
+    depth_stack: list[int] = []  # brace depth at each open parallel_for
+    depth = 0
+    in_block_comment = False
+    prev_code = ""  # last non-blank code line, for continuation detection
+
+    for idx, raw in enumerate(lines):
+        line = strip_strings(raw)
+        code = line.split("//")[0]
+        if in_block_comment:
+            if "*/" in code:
+                code = code.split("*/", 1)[1]
+                in_block_comment = False
+            else:
+                continue
+        if "/*" in code and "*/" not in code:
+            code = code.split("/*", 1)[0]
+            in_block_comment = True
+        code = re.sub(r"/\*.*?\*/", "", code)
+
+        loc = f"{rel}:{idx + 1}"
+
+        # raw-thread: everywhere except src/parallel/ (the runtime owns
+        # thread creation) and tools/tests that exercise the runtime.
+        if RAW_THREAD.search(code) and not rel.startswith("src/parallel/"):
+            if not allowed("raw-thread", lines, idx):
+                findings.append(
+                    f"{loc}: raw-thread: std::thread/pthread_create outside "
+                    "src/parallel/ — use the fork-join runtime"
+                )
+
+        # volatile-sync: volatile anywhere in src/ is suspect.
+        if rel.startswith("src/") and VOLATILE.search(code):
+            if not allowed("volatile-sync", lines, idx):
+                findings.append(
+                    f"{loc}: volatile-sync: volatile is not a synchronization "
+                    "primitive — use std::atomic"
+                )
+
+        # mutable-global: only at namespace scope in src/ (depth counts
+        # function/class braces; namespaces keep depth 0 via the heuristic
+        # below).
+        # A line whose predecessor ends mid-statement (",", "(", operators)
+        # is a continuation of a declaration, not a fresh global.
+        continuation = prev_code.rstrip().endswith((",", "(", "&&", "||", "+"))
+        if (
+            rel.startswith("src/")
+            and depth == 0
+            and not continuation
+            and GLOBAL_DECL.match(code.strip())
+            and not ALLOWED_GLOBAL_TYPES.search(code)
+            and ";" in code
+            and "(" not in code.split("=")[0]  # not a function decl
+        ):
+            if not allowed("mutable-global", lines, idx):
+                findings.append(
+                    f"{loc}: mutable-global: namespace-scope mutable state "
+                    "must be std::atomic, a mutex, thread_local, or const"
+                )
+
+        # shadow-write: inside parallel_for bodies of instrumented files.
+        if in_parallel_for and depth_stack and SHARED_ARRAYS.search(code):
+            window = lines[max(0, idx - 4) : idx + 1]
+            if not any(SHADOW_ANNOTATION.search(w) for w in window):
+                if not allowed("shadow-write", lines, idx):
+                    findings.append(
+                        f"{loc}: shadow-write: write to instrumented shared "
+                        "array inside parallel_for without a "
+                        "PARCT_SHADOW_WRITE within 4 lines"
+                    )
+
+        # Track parallel_for lambda extents by brace depth.
+        if in_parallel_for and re.search(
+            r"\bparallel_for(_blocked)?\s*\(", code
+        ):
+            depth_stack.append(depth)
+        opens = code.count("{")
+        closes = code.count("}")
+        # Namespace braces should not count toward "inside a function".
+        if re.match(r"\s*namespace\b", code) and opens:
+            opens -= 1
+        if re.match(r"\s*}\s*//\s*namespace", line) and closes:
+            closes -= 1
+        depth += opens - closes
+        while depth_stack and depth < depth_stack[-1]:
+            depth_stack.pop()
+        if depth_stack and depth == depth_stack[-1] and ");" in code:
+            depth_stack.pop()
+        if code.strip():
+            prev_code = code
+
+
+def self_test() -> int:
+    """Checks the rules against small positive/negative fixtures."""
+    import tempfile
+
+    cases = [
+        # (relpath, content, expected rule or None)
+        (
+            "src/foo/bar.cpp",
+            "#include <thread>\nvoid f() { std::thread t([]{}); }\n",
+            "raw-thread",
+        ),
+        (
+            "src/parallel/scheduler.cpp",
+            "#include <thread>\nvoid f() { std::thread t([]{}); }\n",
+            None,
+        ),
+        (
+            "src/foo/bar.cpp",
+            "// parct-lint: allow(raw-thread) reason: test fixture\n"
+            "void f() { std::thread t([]{}); }\n",
+            None,
+        ),
+        ("src/foo/g.cpp", "int g_counter = 0;\n", "mutable-global"),
+        ("src/foo/g.cpp", "std::atomic<int> g_counter{0};\n", None),
+        ("src/foo/g.cpp", "constexpr int kMax = 4;\n", None),
+        ("src/foo/g.cpp", "const int kMax = 4;\n", None),
+        ("src/foo/v.cpp", "volatile int flag;\n", "volatile-sync"),
+        (
+            "src/primitives/scan.hpp",
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t b) {\n"
+            "    sums[b] = 1;\n"
+            "  });\n"
+            "}\n",
+            "shadow-write",
+        ),
+        (
+            "src/primitives/scan.hpp",
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t b) {\n"
+            "    PARCT_SHADOW_WRITE(k);\n"
+            "    sums[b] = 1;\n"
+            "  });\n"
+            "}\n",
+            None,
+        ),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        global REPO
+        saved_repo = REPO
+        REPO = Path(tmp)
+        try:
+            for i, (rel, content, expect) in enumerate(cases):
+                p = Path(tmp) / rel
+                p.parent.mkdir(parents=True, exist_ok=True)
+                p.write_text(content)
+                findings: list[str] = []
+                lint_file(p, findings)
+                hit = findings[0].split(": ")[1].rstrip(":") if findings else None
+                ok = (expect is None and not findings) or (
+                    expect is not None and any(expect in f for f in findings)
+                )
+                if not ok:
+                    failures += 1
+                    print(
+                        f"self-test case {i} FAILED: expected {expect}, "
+                        f"got {hit} ({findings})"
+                    )
+                p.unlink()
+        finally:
+            REPO = saved_repo
+    if failures:
+        return 1
+    print("lint_parallel.py self-test: all cases pass")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--self-test" in argv:
+        return self_test()
+    roots = [REPO / "src", REPO / "tools"]
+    findings: list[str] = []
+    for root in roots:
+        for path in sorted(root.rglob("*")):
+            if path.suffix in {".cpp", ".hpp", ".h", ".cc"}:
+                lint_file(path, findings)
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"lint_parallel.py: {len(findings)} finding(s)")
+        return 1
+    print("lint_parallel.py: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

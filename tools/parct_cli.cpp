@@ -5,11 +5,13 @@
 //   parct_cli update <file> <out> del|ins <k> <seed> apply a random batch
 //   parct_cli validate <file>                        full independent check
 //   parct_cli dot <file> <round>                     Graphviz of round i
-//   parct_cli replay <trace>                         re-run a harness trace
+//   parct_cli replay [--race-detect] <trace>         re-run a harness trace
 //
 // Structures are stored in the parct binary format (contraction/serialize);
 // replay traces are the text files the differential harness dumps on
 // failure (see docs/TESTING.md).
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +34,30 @@ using namespace parct;
 
 namespace {
 
+// Strict numeric argument parsing: atoi/atof accept trailing garbage and
+// hide overflow (the class of defect the static-analysis gate flags); a
+// malformed operand must be a usage error, not a silent zero.
+std::uint64_t parse_u64(const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error("not a non-negative integer: " +
+                             std::string(s));
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(const char* s) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') {
+    throw std::runtime_error("not a number: " + std::string(s));
+  }
+  return v;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
@@ -40,7 +66,7 @@ int usage() {
                "  parct_cli update <file> <out> del|ins <k> <seed>\n"
                "  parct_cli validate <file>\n"
                "  parct_cli dot <file> <round>\n"
-               "  parct_cli replay <trace>\n");
+               "  parct_cli replay [--race-detect] <trace>\n");
   return 2;
 }
 
@@ -59,10 +85,9 @@ void save_file(const contract::ContractionForest& c,
 
 int cmd_gen(int argc, char** argv) {
   if (argc != 6) return usage();
-  const std::size_t n = static_cast<std::size_t>(std::atoll(argv[2]));
-  const double cf = std::atof(argv[3]);
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(std::strtoull(argv[4], nullptr, 10));
+  const std::size_t n = static_cast<std::size_t>(parse_u64(argv[2]));
+  const double cf = parse_double(argv[3]);
+  const std::uint64_t seed = parse_u64(argv[4]);
   forest::Forest f = forest::build_tree(n, 4, cf, seed);
   contract::ContractionForest c(f.capacity(), 4, seed ^ 0xC0DE);
   const contract::ConstructStats stats = contract::construct(c, f);
@@ -104,9 +129,8 @@ int cmd_update(int argc, char** argv) {
   contract::ContractionForest c = load_file(argv[2]);
   const bool deletes = std::strcmp(argv[4], "del") == 0;
   if (!deletes && std::strcmp(argv[4], "ins") != 0) return usage();
-  const std::size_t k = static_cast<std::size_t>(std::atoll(argv[5]));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(std::strtoull(argv[6], nullptr, 10));
+  const std::size_t k = static_cast<std::size_t>(parse_u64(argv[5]));
+  const std::uint64_t seed = parse_u64(argv[6]);
 
   forest::Forest f = c.extract_forest();
   forest::ChangeSet m;
@@ -170,8 +194,7 @@ int cmd_validate(int argc, char** argv) {
 int cmd_dot(int argc, char** argv) {
   if (argc != 4) return usage();
   contract::ContractionForest c = load_file(argv[2]);
-  const std::uint32_t round =
-      static_cast<std::uint32_t>(std::atoll(argv[3]));
+  const std::uint32_t round = static_cast<std::uint32_t>(parse_u64(argv[3]));
   std::printf("// forest at contraction round %u (alive vertices only)\n",
               round);
   std::printf("digraph round%u {\n  rankdir=BT;\n", round);
@@ -193,10 +216,20 @@ int cmd_dot(int argc, char** argv) {
 // Re-executes a harness replay trace. The trace is self-contained (initial
 // forest, batches, weights, scheduler configuration, fault injection), so
 // this prints the same bytes and exits with the same status on every run.
+// With --race-detect the run executes serially under the SP-bags
+// determinacy-race detector (requires -DPARCT_RACE_DETECT=ON; see
+// docs/STATIC_ANALYSIS.md).
 int cmd_replay(int argc, char** argv) {
-  if (argc != 3) return usage();
-  const harness::Trace t = harness::load_trace_file(argv[2]);
-  const harness::RunResult r = harness::run_trace(t);
+  harness::RunOptions opts;
+  int file_arg = 2;
+  if (argc == 4 && std::strcmp(argv[2], "--race-detect") == 0) {
+    opts.race_detect = true;
+    file_arg = 3;
+  } else if (argc != 3) {
+    return usage();
+  }
+  const harness::Trace t = harness::load_trace_file(argv[file_arg]);
+  const harness::RunResult r = harness::run_trace(t, opts);
   std::printf("trace seed=%llu workers=%u steps=%zu ops=%llu\n",
               static_cast<unsigned long long>(t.master_seed), t.num_workers,
               t.steps.size(),
