@@ -202,6 +202,12 @@ inline void add_update_stats(StatsDump& d,
     }
     d.num("update_total_s", s.total_seconds);
   }
+  d.num("ws_acquires", s.ws_acquires)
+      .num("ws_hits", s.ws_hits)
+      .num("ws_misses", s.ws_misses)
+      .num("ws_bytes_allocated", s.ws_bytes_allocated)
+      .num("ws_container_growths", s.ws_container_growths)
+      .num("ws_container_bytes", s.ws_container_bytes);
 }
 
 /// Adds the counters (and, when built with PARCT_STATS, per-phase times)
@@ -218,6 +224,12 @@ inline void add_construct_stats(StatsDump& d,
     }
     d.num("construct_total_s", s.total_seconds);
   }
+  d.num("ws_acquires", s.ws_acquires)
+      .num("ws_hits", s.ws_hits)
+      .num("ws_misses", s.ws_misses)
+      .num("ws_bytes_allocated", s.ws_bytes_allocated)
+      .num("ws_container_growths", s.ws_container_growths)
+      .num("ws_container_bytes", s.ws_container_bytes);
 }
 
 }  // namespace parct::bench

@@ -97,8 +97,11 @@ constexpr ShadowKey scratch_cell(ShadowArray array, std::uint64_t index) {
 }
 
 // Element `index` of the per-call buffer identified by `nonce` (obtained
-// from PARCT_SHADOW_BUFFER). Fresh nonces per call keep reused scratch
-// allocations from aliasing across calls.
+// from PARCT_SHADOW_BUFFER, or from Workspace::Lease::shadow_nonce() for
+// pooled scratch blocks — the arena mints a fresh nonce on every acquire).
+// Fresh nonces per call/lease keep reused scratch allocations from
+// aliasing across calls, so block recycling is never misreported as a
+// race.
 constexpr ShadowKey buffer_cell(std::uint64_t nonce, std::uint64_t index) {
   return {detail::tag(ShadowSpace::kBuffer) | ((nonce & 0x0FFFFFFFu) << 32) |
           (index & 0xFFFFFFFFu)};

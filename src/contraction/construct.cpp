@@ -10,13 +10,14 @@ namespace {
 
 // One round of RandomizedContract (paper Fig. 1): classify every live
 // vertex, allocate next-round records for survivors, promote edges, then
-// compact the live set.
-std::vector<VertexId> randomized_contract(ContractionForest& c,
-                                          std::uint32_t i,
-                                          const std::vector<VertexId>& live,
-                                          std::vector<Kind>& status,
-                                          EventHooks* hooks,
-                                          ConstructStats& stats) {
+// compact the live set into `next_live` (double-buffered by the caller so
+// no round allocates a fresh live vector; scan scratch leases from `ws`).
+void randomized_contract(ContractionForest& c, std::uint32_t i,
+                         const std::vector<VertexId>& live,
+                         std::vector<VertexId>& next_live,
+                         std::vector<Kind>& status, EventHooks* hooks,
+                         ConstructStats& stats, Workspace& ws) {
+  ws.epoch_reset();  // round boundary: no scratch lease crosses rounds
   c.coins().ensure_rounds(i + 2);
   const std::size_t n = live.size();
 
@@ -119,21 +120,25 @@ std::vector<VertexId> randomized_contract(ContractionForest& c,
 
   // Phase D: compact the live set (the paper's C(n) subroutine).
   PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseCompact]);
-  return prim::pack(live, [&](std::size_t k) {
+  prim::pack_into(live, [&](std::size_t k) {
     PARCT_SHADOW_READ(analysis::scratch_cell(
         analysis::ShadowArray::kConstructStatus, live[k]));
     return status[live[k]] == Kind::kSurvive;
-  });
+  }, next_live, ws);
 }
 
 }  // namespace
 
 ConstructStats construct(ContractionForest& c, const forest::Forest& f,
-                         EventHooks* hooks) {
+                         EventHooks* hooks, Workspace* workspace) {
   const StatsTimePoint t_begin = stats_now();
+  Workspace local_ws;
+  Workspace& ws = workspace != nullptr ? *workspace : local_ws;
+  const WorkspaceStats ws_begin = ws.stats();
   c.init_from_forest(f);
   if (hooks) hooks->on_begin(c.capacity());
   std::vector<VertexId> live = f.vertices();
+  std::vector<VertexId> next_live;
   std::vector<Kind> status(c.capacity(), Kind::kSurvive);
 
   ConstructStats stats;
@@ -141,11 +146,19 @@ ConstructStats construct(ContractionForest& c, const forest::Forest& f,
   while (!live.empty()) {
     stats.total_live += live.size();
     stats.live_per_round.push_back(static_cast<std::uint32_t>(live.size()));
-    live = randomized_contract(c, i, live, status, hooks, stats);
+    randomized_contract(c, i, live, next_live, status, hooks, stats, ws);
+    std::swap(live, next_live);  // both buffers keep their capacity
     ++i;
   }
   stats.rounds = i;
   if constexpr (kStatsEnabled) stats.total_seconds = stats_since(t_begin);
+  const WorkspaceStats ws_delta = workspace_stats_delta(ws_begin, ws.stats());
+  stats.ws_acquires = ws_delta.acquires;
+  stats.ws_hits = ws_delta.hits;
+  stats.ws_misses = ws_delta.misses;
+  stats.ws_bytes_allocated = ws_delta.bytes_allocated;
+  stats.ws_container_growths = ws_delta.container_growths;
+  stats.ws_container_bytes = ws_delta.container_bytes;
   return stats;
 }
 

@@ -10,6 +10,7 @@
 #include "contraction/hooks.hpp"
 #include "contraction/telemetry.hpp"
 #include "forest/forest.hpp"
+#include "primitives/workspace.hpp"
 
 namespace parct::contract {
 
@@ -37,13 +38,31 @@ struct ConstructStats {
   double phase_seconds[kNumConstructPhases] = {};
   /// Wall-clock seconds of the whole construct().
   double total_seconds = 0.0;
+
+  // --- allocation discipline (always on; see docs/PERFORMANCE.md) ---
+  /// Workspace activity of this construct(): pool hits vs heap misses for
+  /// the per-round scratch, plus capacity growths of the reused live-set
+  /// buffers. A construct() over a warm workspace has ws_misses == 0.
+  std::uint64_t ws_acquires = 0;
+  std::uint64_t ws_hits = 0;
+  std::uint64_t ws_misses = 0;
+  std::uint64_t ws_bytes_allocated = 0;
+  std::uint64_t ws_container_growths = 0;
+  std::uint64_t ws_container_bytes = 0;
 };
 
 /// Runs ForestContraction(V, E): initializes `c` from `f` (round 0) and
 /// contracts until every vertex is dead, filling P, C and D. Uses the coin
 /// schedule already attached to `c`, so the result is deterministic in
 /// (f, c.seed()). Parallelized over the live set each round.
+///
+/// Per-round scratch (the compaction's block counts, the live-set double
+/// buffer's growth tracking) comes from `workspace` when provided; callers
+/// that construct repeatedly should pass a long-lived Workspace so later
+/// runs reuse the pooled blocks (ws_misses == 0). With the default nullptr
+/// a function-local arena is used and dropped on return.
 ConstructStats construct(ContractionForest& c, const forest::Forest& f,
-                         EventHooks* hooks = nullptr);
+                         EventHooks* hooks = nullptr,
+                         Workspace* workspace = nullptr);
 
 }  // namespace parct::contract

@@ -62,6 +62,8 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   UpdateStats stats;
   if (m.empty()) return stats;
   const StatsTimePoint t_begin = stats_now();
+  const WorkspaceStats ws_begin = ws_.stats();
+  ws_.epoch_reset();
 
   // --- capacity for fresh vertex ids ---------------------------------
   std::size_t need = c_.capacity();
@@ -77,7 +79,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
 
   // --- initial phase (paper Fig. 3, lines 2-18): O(m) work, low span. --
   const std::uint64_t e_vminus = ++epoch_;
-  xset_.resize(m.remove_vertices.size());
+  ws_.resize_tracked(xset_, m.remove_vertices.size());
   par::parallel_for(0, m.remove_vertices.size(), [&](std::size_t k) {
     const VertexId v = m.remove_vertices[k];
     claim_[v].store(e_vminus, std::memory_order_relaxed);
@@ -105,7 +107,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
                ? m.remove_edges[k]
                : m.add_edges[k - m.remove_edges.size()];
   };
-  cand_.assign(m.add_vertices.size() + 2 * num_edges, kNoVertex);
+  assign_tracked(cand_, m.add_vertices.size() + 2 * num_edges, kNoVertex);
   par::parallel_for(0, m.add_vertices.size(), [&](std::size_t k) {
     const VertexId v = m.add_vertices[k];
     if (try_claim(v, e_l0)) {
@@ -132,10 +134,10 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
       }
     }
   });
-  lset_ = prim::pack(cand_, [&](std::size_t k) {
+  prim::pack_into(cand_, [&](std::size_t k) {
     PARCT_SHADOW_READ(cand_cell(k));
     return cand_[k] != kNoVertex;
-  });
+  }, lset_, ws_);
 
   // Apply the edits to round 0: deletions first (freeing slots), then
   // insertions. Deletions touch disjoint (child, parent-slot) pairs and
@@ -156,33 +158,37 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
     rc.parent_slot = 0;
   });
   {
-    std::vector<Edge> inserts = m.add_edges;
-    prim::parallel_sort(inserts, [](const Edge& a, const Edge& b) {
+    if (inserts_.capacity() < m.add_edges.size()) {
+      ws_.note_container_growth(
+          (m.add_edges.size() - inserts_.capacity()) * sizeof(Edge));
+    }
+    inserts_.assign(m.add_edges.begin(), m.add_edges.end());
+    prim::parallel_sort_into(inserts_, [](const Edge& a, const Edge& b) {
       return a.parent < b.parent;
-    });
+    }, ws_);
     std::atomic<bool> overflow{false};
-    par::parallel_for(0, inserts.size(), [&](std::size_t k) {
-      if (k > 0 && inserts[k].parent == inserts[k - 1].parent) {
+    par::parallel_for(0, inserts_.size(), [&](std::size_t k) {
+      if (k > 0 && inserts_[k].parent == inserts_[k - 1].parent) {
         return;  // not a group head
       }
-      RoundRecord& rp = c_.record_mut(0, inserts[k].parent);
+      RoundRecord& rp = c_.record_mut(0, inserts_[k].parent);
       for (std::size_t j = k;
-           j < inserts.size() && inserts[j].parent == inserts[k].parent;
+           j < inserts_.size() && inserts_[j].parent == inserts_[k].parent;
            ++j) {
-        PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), inserts[k].parent, 0);
+        PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), inserts_[k].parent, 0);
         const int slot = find_free_slot(rp.children, c_.degree_bound());
         if (slot < 0) {
           overflow.store(true, std::memory_order_relaxed);
           return;
         }
         PARCT_SHADOW_WRITE(analysis::record_child_cell(
-            c_.shadow_id(), inserts[k].parent, 0,
+            c_.shadow_id(), inserts_[k].parent, 0,
             static_cast<std::uint32_t>(slot)));
-        rp.children[slot] = inserts[j].child;
+        rp.children[slot] = inserts_[j].child;
         PARCT_SHADOW_WRITE(analysis::record_parent_cell(
-            c_.shadow_id(), inserts[j].child, 0));
-        RoundRecord& rc = c_.record_mut(0, inserts[j].child);
-        rc.parent = inserts[j].parent;
+            c_.shadow_id(), inserts_[j].child, 0));
+        RoundRecord& rc = c_.record_mut(0, inserts_[j].child);
+        rc.parent = inserts_[j].parent;
         rc.parent_slot = static_cast<std::uint8_t>(slot);
       }
     });
@@ -193,7 +199,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   }
 
   // A leaf-status flip of an endpoint affects its (post-edit) parent.
-  cand_.assign(num_edges * 2, kNoVertex);
+  assign_tracked(cand_, num_edges * 2, kNoVertex);
   par::parallel_for(0, num_edges, [&](std::size_t k) {
     const Edge& e = edge_at(k);
     VertexId* out = cand_.data() + 2 * k;
@@ -215,11 +221,16 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
       }
     }
   });
-  std::vector<VertexId> flipped = prim::pack(cand_, [&](std::size_t k) {
+  prim::pack_into(cand_, [&](std::size_t k) {
     PARCT_SHADOW_READ(cand_cell(k));
     return cand_[k] != kNoVertex;
-  });
-  lset_.insert(lset_.end(), flipped.begin(), flipped.end());
+  }, flipped_, ws_);
+  if (lset_.capacity() < lset_.size() + flipped_.size()) {
+    ws_.note_container_growth(
+        (lset_.size() + flipped_.size() - lset_.capacity()) *
+        sizeof(VertexId));
+  }
+  lset_.insert(lset_.end(), flipped_.begin(), flipped_.end());
 
   stats.initial_affected = lset_.size() + xset_.size();
   if constexpr (kStatsEnabled) {
@@ -234,11 +245,20 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   }
   stats.rounds = i;
   if constexpr (kStatsEnabled) stats.total_seconds = stats_since(t_begin);
+  const WorkspaceStats ws_delta =
+      workspace_stats_delta(ws_begin, ws_.stats());
+  stats.ws_acquires = ws_delta.acquires;
+  stats.ws_hits = ws_delta.hits;
+  stats.ws_misses = ws_delta.misses;
+  stats.ws_bytes_allocated = ws_delta.bytes_allocated;
+  stats.ws_container_growths = ws_delta.container_growths;
+  stats.ws_container_bytes = ws_delta.container_bytes;
   return stats;
 }
 
 void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
                                UpdateStats& stats) {
+  ws_.epoch_reset();  // round boundary: no scratch lease crosses rounds
   c_.coins().ensure_rounds(i + 2);
   const std::size_t nl_count = lset_.size();
   stats.total_affected += nl_count + xset_.size();
@@ -287,7 +307,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   // Phase B: build NL = L plus all round-i neighbours in G (Fig. 4 line
   // 3), claim-then-pack for a duplicate-free list.
   epoch_nlx_ = ++epoch_;
-  cand_.assign(nl_count * kWidth, kNoVertex);
+  assign_tracked(cand_, nl_count * kWidth, kNoVertex);
   par::parallel_for(0, nl_count, [&](std::size_t k) {
     const VertexId v = lset_[k];
     VertexId* out = cand_.data() + k * kWidth;
@@ -309,14 +329,14 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
       }
     }
   });
-  std::vector<VertexId> nl = prim::pack(cand_, [&](std::size_t k) {
+  prim::pack_into(cand_, [&](std::size_t k) {
     PARCT_SHADOW_READ(cand_cell(k));
     return cand_[k] != kNoVertex;
-  });
-  stats.total_neighborhood += nl.size();
+  }, nl_, ws_);
+  stats.total_neighborhood += nl_.size();
   if constexpr (kStatsEnabled) {
     stats.neighborhood_per_round.push_back(
-        static_cast<std::uint32_t>(nl.size()));
+        static_cast<std::uint32_t>(nl_.size()));
   }
   phase_done(stats.phase_seconds[kPhaseNeighborhood]);
 
@@ -327,8 +347,8 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   // (e.g. an unaffected compressing vertex) may lie outside NL and would
   // never re-promote it. Members of L that survive in G but are already
   // dead in F get a fresh blank record.
-  par::parallel_for(0, nl.size(), [&](std::size_t k) {
-    const VertexId v = nl[k];
+  par::parallel_for(0, nl_.size(), [&](std::size_t k) {
+    const VertexId v = nl_[k];
     if (c_.duration(v) > i + 1) {
       RoundRecord& r = c_.record_mut(i + 1, v);
       PARCT_SHADOW_READ(
@@ -365,8 +385,8 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   // incident upon any neighbor of an affected vertex"). Unaffected NL
   // members redo exactly what F did (Lemma 2), so their writes are
   // idempotent re-executions.
-  par::parallel_for(0, nl.size(), [&](std::size_t k) {
-    const VertexId v = nl[k];
+  par::parallel_for(0, nl_.size(), [&](std::size_t k) {
+    const VertexId v = nl_[k];
     const Kind kind = kind_of(i, v);
     PARCT_SHADOW_READ_REC(c_.shadow_id(), v, i);
     const RoundRecord& r = c_.record(i, v);
@@ -437,7 +457,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   //  (d) a survivor alive in both forests whose leaf status differs
   //      affects its round-(i+1) parent.
   const std::uint64_t e_next = ++epoch_;
-  cand_.assign(nl_count * kWidth, kNoVertex);
+  assign_tracked(cand_, nl_count * kWidth, kNoVertex);
   par::parallel_for(0, nl_count, [&](std::size_t k) {
     const VertexId v = lset_[k];
     VertexId* out = cand_.data() + k * kWidth;
@@ -491,41 +511,51 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
       }
     }
   });
-  std::vector<VertexId> next_l = prim::pack(cand_, [&](std::size_t k) {
+  prim::pack_into(cand_, [&](std::size_t k) {
     PARCT_SHADOW_READ(cand_cell(k));
     return cand_[k] != kNoVertex;
-  });
+  }, next_l_, ws_);
   phase_done(stats.phase_seconds[kPhaseSpread]);
 
   // Phase G: X bookkeeping (Fig. 3 line 18, Fig. 4 lines on X): members of
   // L that contract in G but are still alive in F join X with their G
   // death round; vertices now dead in both forests get their final
-  // durations. Sequential: O(|L| + |X|).
-  std::vector<std::pair<VertexId, std::uint32_t>> next_x;
-  next_x.reserve(xset_.size());
-  for (const auto& [v, j] : xset_) {
+  // durations. Sequential: O(|L| + |X|). xset_ is rebuilt *in place* — a
+  // write-index compaction of the survivors (the write cursor never passes
+  // the read cursor) followed by appends for L's contractors — so the
+  // buffer's capacity carries over round to round.
+  std::size_t xw = 0;
+  for (std::size_t k = 0; k < xset_.size(); ++k) {
+    const auto [v, j] = xset_[k];
     if (c_.duration(v) > i + 1) {
-      next_x.push_back({v, j});
+      xset_[xw++] = {v, j};
     } else {
       c_.set_duration(v, j);
       c_.truncate_to_duration(v);
     }
   }
+  xset_.resize(xw);
+  const std::size_t x_cap = xset_.capacity();
   for (std::size_t k = 0; k < nl_count; ++k) {
     const VertexId v = lset_[k];
     if (static_cast<Kind>(status_g_[v]) == Kind::kSurvive) continue;
     if (c_.duration(v) > i + 1) {
-      next_x.push_back({v, i + 1});
+      xset_.push_back({v, i + 1});
     } else {
       c_.set_duration(v, i + 1);
       c_.truncate_to_duration(v);
     }
   }
+  if (xset_.capacity() != x_cap) {
+    ws_.note_container_growth((xset_.capacity() - x_cap) *
+                              sizeof(xset_[0]));
+  }
 
   phase_done(stats.phase_seconds[kPhaseX]);
 
-  lset_ = std::move(next_l);
-  xset_ = std::move(next_x);
+  // Swap, never move-assign: lset_'s old buffer becomes next round's
+  // next_l_ destination, so both capacities survive.
+  std::swap(lset_, next_l_);
 }
 
 UpdateStats modify_contraction(ContractionForest& c,

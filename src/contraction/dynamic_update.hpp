@@ -15,6 +15,7 @@
 #include "contraction/hooks.hpp"
 #include "contraction/telemetry.hpp"
 #include "forest/change_set.hpp"
+#include "primitives/workspace.hpp"
 
 namespace parct::contract {
 
@@ -56,6 +57,20 @@ struct UpdateStats {
   std::vector<std::uint32_t> affected_per_round;
   /// |NL| of each propagation round.
   std::vector<std::uint32_t> neighborhood_per_round;
+
+  // --- allocation discipline (always on — counters are bumped only on
+  // the scratch acquire/release paths, a handful per phase; see
+  // docs/PERFORMANCE.md "Memory discipline") ---
+  /// Workspace activity of this apply(): scratch leases served from the
+  /// pool (hits) vs heap-allocated (misses), fresh bytes, and capacity
+  /// growths of the reused destination vectors. An allocation-free
+  /// steady-state apply has ws_misses == 0 && ws_container_growths == 0.
+  std::uint64_t ws_acquires = 0;
+  std::uint64_t ws_hits = 0;
+  std::uint64_t ws_misses = 0;
+  std::uint64_t ws_bytes_allocated = 0;
+  std::uint64_t ws_container_growths = 0;
+  std::uint64_t ws_container_bytes = 0;
 };
 
 /// Applies batches of changes to a ContractionForest in place. Holds O(n)
@@ -84,6 +99,16 @@ class DynamicUpdater {
   /// One round of Propagate (paper Fig. 4); consumes lset_/xset_ and
   /// replaces them with the next round's sets.
   void propagate(std::uint32_t i, EventHooks* hooks, UpdateStats& stats);
+
+  /// assign(n, fill) with capacity growth recorded in the workspace stats,
+  /// so the steady-state allocation check covers the claim buffers too.
+  template <typename T>
+  void assign_tracked(std::vector<T>& v, std::size_t n, const T& fill) {
+    if (n > v.capacity()) {
+      ws_.note_container_growth((n - v.capacity()) * sizeof(T));
+    }
+    v.assign(n, fill);
+  }
 
   // claim_ is deliberately *not* shadow-instrumented: competing CAS claims
   // of one vertex are commutative (exactly one winner, and the resulting
@@ -145,6 +170,18 @@ class DynamicUpdater {
   std::vector<VertexId> lset_;  // affected, alive in G this round
   std::vector<std::pair<VertexId, std::uint32_t>> xset_;  // (v, G-death)
   std::vector<VertexId> cand_;  // claim-then-pack candidate buffer
+
+  // Reused round pipelines: every per-round set lives in a member whose
+  // capacity carries over (swap, never move-assign, so both buffers keep
+  // their storage), and all primitive scratch comes from ws_. After the
+  // first batch warms the capacities, apply() performs zero heap
+  // allocations on the hot path — tracked by the ws_* stats above and
+  // enforced by the steady-state CTest (tests/workspace_test.cpp).
+  Workspace ws_;                  // scratch arena for the *_into primitives
+  std::vector<VertexId> nl_;      // NL of the current round
+  std::vector<VertexId> next_l_;  // next round's L (swapped into lset_)
+  std::vector<VertexId> flipped_; // parents of leaf-status flips (round 0)
+  std::vector<Edge> inserts_;     // E+ sorted by parent (initial phase)
 };
 
 /// One-shot convenience wrapper (allocates O(n) scratch per call; prefer a

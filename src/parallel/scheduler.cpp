@@ -14,6 +14,7 @@
 
 #include "hashing/splitmix64.hpp"
 #include "parallel/chase_lev_deque.hpp"
+#include "primitives/workspace.hpp"
 #include "parallel/stats.hpp"
 #include "parallel/tsan.hpp"
 
@@ -278,6 +279,14 @@ unsigned worker_id() {
 }
 
 bool in_parallel_region() { return tl_in_task || tl_region_depth > 0; }
+
+Workspace& worker_workspace() {
+  // One pool per thread: pool threads (the workers) each get their own,
+  // and so does any plain thread calling the allocating primitive shims.
+  // Freed with the thread, i.e. at pool shutdown for workers.
+  static thread_local Workspace ws;
+  return ws;
+}
 
 namespace detail {
 

@@ -13,6 +13,10 @@
 #include <exception>
 #include <functional>
 
+namespace parct {
+class Workspace;  // primitives/workspace.hpp
+}  // namespace parct
+
 namespace parct::par {
 
 /// A unit of stealable work. Stack-allocated inside fork2join; the deque
@@ -99,6 +103,17 @@ unsigned worker_id();
 /// True if the calling thread is inside a task or an open fork-join region
 /// (i.e. stack-allocated tasks of this thread may be live on the deques).
 bool in_parallel_region();
+
+/// The calling worker's scratch pool (primitives/workspace.hpp). One
+/// Workspace per pool thread (thread-local, so the main thread outside any
+/// pool gets one too): parallel phases that need scratch on their own
+/// slice lease from their worker's pool and never contend on a shared
+/// allocator. The allocating primitive shims (prim::pack & co.) draw their
+/// block-offset scratch from here, which is what makes repeated calls
+/// allocation-free in steady state. Blocks leased from one worker's pool
+/// must be released on the same worker (the Lease must not be moved across
+/// tasks).
+Workspace& worker_workspace();
 
 // --- internal API used by fork_join.hpp ---
 namespace detail {

@@ -1,84 +1,184 @@
 // Parallel compaction ("pack"): keep the elements satisfying a predicate,
 // preserving order. This is the C(n) subroutine of the paper's analysis;
 // ours is the work-efficient prefix-sums version: O(n) work, O(log n) span.
+//
+// The *_into variants are destination-passing and run a FUSED scan+pack:
+// one sweep counts the predicate hits per block, a serial scan over the
+// per-block counts (leased from the Workspace — num_blocks entries, not n)
+// places each block, and a second sweep writes each block's survivors at
+// its offset. Compared to the classic flags/offsets formulation this never
+// materializes an n-sized offsets vector and performs zero heap
+// allocations in steady state (the destination reuses its capacity; growth
+// is tracked in the workspace stats). The predicate is evaluated at most
+// twice per index and must be pure.
+//
+// The classic allocating signatures remain as thin shims over the fused
+// kernel, drawing scratch from the calling worker's pool.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "analysis/annotations.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/scheduler.hpp"
 #include "primitives/scan.hpp"
+#include "primitives/workspace.hpp"
 
 namespace parct::prim {
 
-/// Indices i in [0, n) with pred(i) true, in increasing order.
+namespace detail {
+
+inline constexpr std::size_t kPackBlock = 4096;
+
+/// Fused scan+pack over [0, n): `emit(i, slot)` is called once for every i
+/// with pred(i), where `slot` is i's rank among the kept indices. The
+/// caller sizes the destination via `resize_out(total)` between the count
+/// and the write sweeps. Returns the number kept.
+template <typename Pred, typename ResizeOut, typename Emit>
+std::size_t fused_pack(std::size_t n, const Pred& pred, Workspace& ws,
+                       const ResizeOut& resize_out, const Emit& emit) {
+  const std::size_t num_blocks = (n + kPackBlock - 1) / kPackBlock;
+  auto offsets = ws.acquire<std::uint32_t>(num_blocks);
+  const std::uint64_t shadow_offsets = offsets.shadow_nonce();
+  (void)shadow_offsets;
+  // Sweep 1: per-block predicate counts.
+  par::parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kPackBlock;
+    const std::size_t hi = std::min(lo + kPackBlock, n);
+    std::uint32_t count = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(i)) ++count;
+    }
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_offsets, b));
+    offsets[b] = count;
+  }, 1);
+  // Serial exclusive scan of the block counts (num_blocks ≤ n/4096 + 1).
+  // The total is accumulated wide and checked against the 32-bit offset
+  // width before the narrowing cast (see offsets_fit_uint32).
+  std::uint64_t total64 = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::uint32_t v = offsets[b];
+    offsets[b] = static_cast<std::uint32_t>(total64);
+    total64 += v;
+  }
+  assert(offsets_fit_uint32(total64) && "pack: 32-bit offset overflow");
+  const std::size_t total = static_cast<std::size_t>(total64);
+  resize_out(total);
+  // Sweep 2: each block writes its survivors at its offset. Blocks own
+  // disjoint destination ranges [offsets[b], offsets[b] + count_b), which
+  // the shadow writes below prove (an overlap would be a write-write race).
+  par::parallel_for(0, num_blocks, [&](std::size_t b) {
+    const std::size_t lo = b * kPackBlock;
+    const std::size_t hi = std::min(lo + kPackBlock, n);
+    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, b));
+    std::uint32_t slot = offsets[b];
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (pred(i)) emit(i, slot++);
+    }
+  }, 1);
+  return total;
+}
+
+}  // namespace detail
+
+/// Number of i in [0, n) with pred(i) true. No allocation, O(n) work,
+/// O(log n) span.
 template <typename Pred>
-std::vector<std::uint32_t> pack_index(std::size_t n, const Pred& pred) {
-  if (n == 0) return {};
+std::size_t filter_count(std::size_t n, const Pred& pred) {
+  return par::parallel_reduce(
+      0, n, std::size_t{0},
+      [&](std::size_t i) { return pred(i) ? std::size_t{1} : std::size_t{0}; },
+      [](std::size_t a, std::size_t b) { return a + b; });
+}
+
+/// Indices i in [0, n) with pred(i) true, in increasing order, written
+/// into `out` (resized; capacity reuse makes steady-state calls
+/// allocation-free). Returns the number kept.
+template <typename Pred>
+std::size_t pack_index_into(std::size_t n, const Pred& pred,
+                            std::vector<std::uint32_t>& out, Workspace& ws) {
+  assert(offsets_fit_uint32(n) && "pack_index_into: n exceeds 32-bit offsets");
+  if (n == 0) {
+    out.clear();
+    return 0;
+  }
   if (par::sequential_mode()) {
-    std::vector<std::uint32_t> out;
+    const std::size_t cap = out.capacity();
+    out.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(static_cast<std::uint32_t>(i));
     }
-    return out;
-  }
-  PARCT_SHADOW_BUFFER(shadow_offsets);
-  PARCT_SHADOW_BUFFER(shadow_out);
-  std::vector<std::uint32_t> offsets(n);
-  par::parallel_for(0, n, [&](std::size_t i) {
-    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_offsets, i));
-    offsets[i] = pred(i) ? 1u : 0u;
-  });
-  const std::uint32_t total = exclusive_scan_inplace(offsets);
-  std::vector<std::uint32_t> out(total);
-  par::parallel_for(0, n, [&](std::size_t i) {
-    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, i));
-    if (i + 1 < n) PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, i + 1));
-    const bool keep = (i + 1 < n) ? offsets[i + 1] != offsets[i]
-                                  : offsets[i] != total;
-    // The write below proves the scatter is a permutation: two iterations
-    // landing on the same output slot would be a write-write race.
-    if (keep) {
-      PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_out, offsets[i]));
-      out[offsets[i]] = static_cast<std::uint32_t>(i);
+    if (out.capacity() != cap) {
+      ws.note_container_growth((out.capacity() - cap) *
+                               sizeof(std::uint32_t));
     }
-  });
-  return out;
+    return out.size();
+  }
+  PARCT_SHADOW_BUFFER(shadow_out);
+  return detail::fused_pack(
+      n, pred, ws, [&](std::size_t total) { ws.resize_tracked(out, total); },
+      [&](std::size_t i, std::uint32_t slot) {
+        PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_out, slot));
+        out[slot] = static_cast<std::uint32_t>(i);
+      });
 }
 
-/// Elements of `in` whose index satisfies `pred`, in order.
+/// Elements `in[i]` whose index satisfies `pred`, in order, written into
+/// `out` (resized; steady-state calls are allocation-free). Returns the
+/// number kept. `out` must not alias `in`.
 template <typename T, typename Pred>
-std::vector<T> pack(const std::vector<T>& in, const Pred& pred) {
-  const std::size_t n = in.size();
-  if (n == 0) return {};
+std::size_t pack_into(const T* in, std::size_t n, const Pred& pred,
+                      std::vector<T>& out, Workspace& ws) {
+  assert(offsets_fit_uint32(n) && "pack_into: n exceeds 32-bit offsets");
+  if (n == 0) {
+    out.clear();
+    return 0;
+  }
   if (par::sequential_mode()) {
-    std::vector<T> out;
+    const std::size_t cap = out.capacity();
+    out.clear();
     for (std::size_t i = 0; i < n; ++i) {
       if (pred(i)) out.push_back(in[i]);
     }
-    return out;
-  }
-  PARCT_SHADOW_BUFFER(shadow_offsets);
-  PARCT_SHADOW_BUFFER(shadow_out);
-  std::vector<std::uint32_t> offsets(n);
-  par::parallel_for(0, n, [&](std::size_t i) {
-    PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_offsets, i));
-    offsets[i] = pred(i) ? 1u : 0u;
-  });
-  const std::uint32_t total = exclusive_scan_inplace(offsets);
-  std::vector<T> out(total);
-  par::parallel_for(0, n, [&](std::size_t i) {
-    PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, i));
-    if (i + 1 < n) PARCT_SHADOW_READ(analysis::buffer_cell(shadow_offsets, i + 1));
-    const bool keep = (i + 1 < n) ? offsets[i + 1] != offsets[i]
-                                  : offsets[i] != total;
-    if (keep) {
-      PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_out, offsets[i]));
-      out[offsets[i]] = in[i];
+    if (out.capacity() != cap) {
+      ws.note_container_growth((out.capacity() - cap) * sizeof(T));
     }
-  });
+    return out.size();
+  }
+  PARCT_SHADOW_BUFFER(shadow_out);
+  return detail::fused_pack(
+      n, pred, ws, [&](std::size_t total) { ws.resize_tracked(out, total); },
+      [&](std::size_t i, std::uint32_t slot) {
+        PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_out, slot));
+        out[slot] = in[i];
+      });
+}
+
+template <typename T, typename Pred>
+std::size_t pack_into(const std::vector<T>& in, const Pred& pred,
+                      std::vector<T>& out, Workspace& ws) {
+  return pack_into(in.data(), in.size(), pred, out, ws);
+}
+
+/// Indices i in [0, n) with pred(i) true, in increasing order.
+/// (Allocating shim over pack_index_into; scratch from the calling
+/// worker's pool.)
+template <typename Pred>
+std::vector<std::uint32_t> pack_index(std::size_t n, const Pred& pred) {
+  std::vector<std::uint32_t> out;
+  pack_index_into(n, pred, out, par::scheduler::worker_workspace());
+  return out;
+}
+
+/// Elements of `in` whose index satisfies `pred`, in order. (Allocating
+/// shim over pack_into.)
+template <typename T, typename Pred>
+std::vector<T> pack(const std::vector<T>& in, const Pred& pred) {
+  std::vector<T> out;
+  pack_into(in.data(), in.size(), pred, out, par::scheduler::worker_workspace());
   return out;
 }
 

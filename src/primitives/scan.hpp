@@ -2,39 +2,85 @@
 // Two-pass blocked algorithm (per-block sums, scan the block sums, then
 // per-block local scans) — the compaction building block the paper's
 // implementation uses (§4 "Implementation").
+//
+// The *_into variants are destination-passing: they take a Workspace for
+// the per-block scratch, so repeated calls are allocation-free in steady
+// state. The classic signatures remain as thin shims over them, drawing
+// scratch from the calling worker's pool.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "analysis/annotations.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/scheduler.hpp"
+#include "primitives/workspace.hpp"
 
 namespace parct::prim {
 
+/// True iff a prefix-sum total is representable in the 32-bit offset type
+/// used by pack / counting sort. Precondition of every scan whose element
+/// type is std::uint32_t (notably exclusive_scan_inplace on offset
+/// vectors): the *total* must fit in 32 bits, or offsets silently wrap.
+/// The parallel paths debug-assert this by mirroring the total in 64 bits;
+/// see the 2^32-boundary unit test in scan_pack_test.cpp.
+constexpr bool offsets_fit_uint32(std::uint64_t total) {
+  return total <= 0xFFFFFFFFull;
+}
+
+namespace detail {
+
+/// The 64-bit total of per-block counts, as the overflow guard computes it
+/// (summed wide *before* any narrowing cast). Factored out so the
+/// 2^32-boundary test can drive it with synthetic counts instead of a
+/// 4 GiB input.
+inline std::uint64_t wide_block_total(const std::uint32_t* counts,
+                                      std::size_t num_blocks) {
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < num_blocks; ++b) total += counts[b];
+  return total;
+}
+
+}  // namespace detail
+
 /// Exclusive prefix sum of `in[0..n)` into `out[0..n)` (aliasing allowed);
 /// returns the total. `T` must be an additive monoid under `+` with
-/// zero-initialization as identity.
+/// zero-initialization as identity. Per-block scratch comes from `ws`, so
+/// steady-state calls do not allocate.
 template <typename T>
-T exclusive_scan(const T* in, T* out, std::size_t n) {
+T exclusive_scan_into(const T* in, T* out, std::size_t n, Workspace& ws) {
   if (n == 0) return T{};
   const std::size_t kBlock = 4096;
   if (!par::race_detect_forced() &&
       (n <= kBlock || par::scheduler::num_workers() == 1)) {
     T acc{};
+#ifndef NDEBUG
+    std::uint64_t total64 = 0;  // overflow mirror for 32-bit offset scans
+#endif
     for (std::size_t i = 0; i < n; ++i) {
       T v = in[i];
       out[i] = acc;
       acc = acc + v;
+#ifndef NDEBUG
+      if constexpr (std::is_same_v<T, std::uint32_t>) {
+        total64 += v;
+        assert(offsets_fit_uint32(total64) &&
+               "exclusive_scan: 32-bit offset overflow");
+      }
+#endif
     }
     return acc;
   }
   // Shadow cells: in/out share one logical array per call (aliasing is
   // allowed and the read of in[i] always precedes the write of out[i]).
   PARCT_SHADOW_BUFFER(shadow_io);
-  PARCT_SHADOW_BUFFER(shadow_sums);
   const std::size_t num_blocks = (n + kBlock - 1) / kBlock;
-  std::vector<T> block_sums(num_blocks);
+  auto block_sums = ws.acquire<T>(num_blocks);
+  const std::uint64_t shadow_sums = block_sums.shadow_nonce();
+  (void)shadow_sums;
   par::parallel_for(0, num_blocks, [&](std::size_t b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(lo + kBlock, n);
@@ -47,12 +93,18 @@ T exclusive_scan(const T* in, T* out, std::size_t n) {
     block_sums[b] = acc;
   }, 1);
   T total{};
+  [[maybe_unused]] std::uint64_t total64 = 0;
   for (std::size_t b = 0; b < num_blocks; ++b) {
     PARCT_SHADOW_READ(analysis::buffer_cell(shadow_sums, b));
     T v = block_sums[b];
     PARCT_SHADOW_WRITE(analysis::buffer_cell(shadow_sums, b));
     block_sums[b] = total;
     total = total + v;
+    if constexpr (std::is_same_v<T, std::uint32_t>) {
+      total64 += v;
+      assert(offsets_fit_uint32(total64) &&
+             "exclusive_scan: 32-bit offset overflow");
+    }
   }
   par::parallel_for(0, num_blocks, [&](std::size_t b) {
     const std::size_t lo = b * kBlock;
@@ -70,21 +122,38 @@ T exclusive_scan(const T* in, T* out, std::size_t n) {
   return total;
 }
 
+/// Destination-passing vector form: resizes `out` (growth is tracked in
+/// the workspace stats) and scans into it.
+template <typename T>
+T exclusive_scan_into(const std::vector<T>& in, std::vector<T>& out,
+                      Workspace& ws) {
+  ws.resize_tracked(out, in.size());
+  return exclusive_scan_into(in.data(), out.data(), in.size(), ws);
+}
+
+/// Allocating shim (scratch from the calling worker's pool).
+template <typename T>
+T exclusive_scan(const T* in, T* out, std::size_t n) {
+  return exclusive_scan_into(in, out, n, par::scheduler::worker_workspace());
+}
+
 template <typename T>
 T exclusive_scan(const std::vector<T>& in, std::vector<T>& out) {
   out.resize(in.size());
   return exclusive_scan(in.data(), out.data(), in.size());
 }
 
-/// In-place exclusive scan; returns the total.
+/// In-place exclusive scan; returns the total. Precondition for
+/// T = std::uint32_t: the total fits 32 bits (offsets_fit_uint32) — the
+/// debug builds assert it, release builds would wrap.
 template <typename T>
 T exclusive_scan_inplace(std::vector<T>& v) {
   return exclusive_scan(v.data(), v.data(), v.size());
 }
 
-/// Inclusive prefix sum; returns the total.
+/// Inclusive prefix sum; returns the total. Per-block scratch from `ws`.
 template <typename T>
-T inclusive_scan(const T* in, T* out, std::size_t n) {
+T inclusive_scan_into(const T* in, T* out, std::size_t n, Workspace& ws) {
   if (n == 0) return T{};
   // Exclusive scan shifted by one, folding the element back in.
   const std::size_t kBlock = 4096;
@@ -98,9 +167,10 @@ T inclusive_scan(const T* in, T* out, std::size_t n) {
     return acc;
   }
   PARCT_SHADOW_BUFFER(shadow_io);
-  PARCT_SHADOW_BUFFER(shadow_sums);
   const std::size_t num_blocks = (n + kBlock - 1) / kBlock;
-  std::vector<T> block_sums(num_blocks);
+  auto block_sums = ws.acquire<T>(num_blocks);
+  const std::uint64_t shadow_sums = block_sums.shadow_nonce();
+  (void)shadow_sums;
   par::parallel_for(0, num_blocks, [&](std::size_t b) {
     const std::size_t lo = b * kBlock;
     const std::size_t hi = std::min(lo + kBlock, n);
@@ -133,6 +203,12 @@ T inclusive_scan(const T* in, T* out, std::size_t n) {
     }
   }, 1);
   return total;
+}
+
+/// Allocating shim (scratch from the calling worker's pool).
+template <typename T>
+T inclusive_scan(const T* in, T* out, std::size_t n) {
+  return inclusive_scan_into(in, out, n, par::scheduler::worker_workspace());
 }
 
 }  // namespace parct::prim

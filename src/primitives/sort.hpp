@@ -11,6 +11,7 @@
 #include "parallel/fork_join.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/scheduler.hpp"
+#include "primitives/workspace.hpp"
 
 namespace parct::prim {
 
@@ -33,9 +34,11 @@ void merge_sort_rec(T* data, T* buffer, std::size_t n, const Less& less,
 
 }  // namespace detail
 
-/// Stable in-place sort of `v` by `less`, parallel over sub-ranges.
+/// Stable in-place sort of `v` by `less`, parallel over sub-ranges. The
+/// merge buffer is leased from `ws`, so steady-state calls do not
+/// allocate.
 template <typename T, typename Less = std::less<T>>
-void parallel_sort(std::vector<T>& v, Less less = Less{}) {
+void parallel_sort_into(std::vector<T>& v, Less less, Workspace& ws) {
   const std::size_t n = v.size();
   if (n < 2) return;
   if (!par::race_detect_forced() &&
@@ -43,7 +46,6 @@ void parallel_sort(std::vector<T>& v, Less less = Less{}) {
     std::stable_sort(v.begin(), v.end(), less);
     return;
   }
-  std::vector<T> buffer(n);
   // Under race detection take the parallel shape even for small inputs so
   // the detector sees the real fork tree (the sort's own ranges are
   // disjoint by construction; annotated accesses in user comparators get
@@ -53,7 +55,21 @@ void parallel_sort(std::vector<T>& v, Less less = Less{}) {
           ? std::size_t{32}
           : std::max<std::size_t>(4096,
                                   n / (8 * par::scheduler::num_workers()));
-  detail::merge_sort_rec(v.data(), buffer.data(), n, less, grain);
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    auto buffer = ws.acquire<T>(n);
+    detail::merge_sort_rec(v.data(), buffer.data(), n, less, grain);
+  } else {
+    // Raw workspace storage would need placement construction for
+    // non-trivial T; fall back to a real vector for those.
+    std::vector<T> buffer(n);
+    detail::merge_sort_rec(v.data(), buffer.data(), n, less, grain);
+  }
+}
+
+/// Allocating shim (merge buffer from the calling worker's pool).
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(std::vector<T>& v, Less less = Less{}) {
+  parallel_sort_into(v, less, par::scheduler::worker_workspace());
 }
 
 /// Indices 0..n-1 sorted stably by `less(i, j)` on index pairs.

@@ -3,6 +3,7 @@
 #include "forest/types.hpp"
 #include "parallel/parallel_for.hpp"
 #include "primitives/pack.hpp"
+#include "primitives/workspace.hpp"
 
 namespace parct::static_contraction {
 
@@ -49,6 +50,11 @@ StaticStats run(const forest::Forest& f, hashing::CoinSchedule& coins,
     live.push_back(v);
   }
   std::vector<K> status(cap);
+  std::vector<VertexId> next_live;
+  Workspace ws;
+  if constexpr (Parallel) {
+    next_live.reserve(live.capacity());
+  }
 
   auto loop = [&](std::size_t n, auto&& body) {
     if constexpr (Parallel) {
@@ -113,9 +119,12 @@ StaticStats run(const forest::Forest& f, hashing::CoinSchedule& coins,
       }
     });
     if constexpr (Parallel) {
-      live = prim::pack(live, [&](std::size_t k) {
-        return status[live[k]] == K::kSurvive;
-      });
+      ws.epoch_reset();
+      prim::pack_into(
+          live,
+          [&](std::size_t k) { return status[live[k]] == K::kSurvive; },
+          next_live, ws);
+      std::swap(live, next_live);
     } else {
       std::size_t w = 0;
       for (std::size_t k = 0; k < n; ++k) {

@@ -23,6 +23,9 @@
 #include "parallel/fork_join.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/scheduler.hpp"
+#include "primitives/pack.hpp"
+#include "primitives/scan.hpp"
+#include "primitives/workspace.hpp"
 
 namespace parct {
 namespace {
@@ -225,6 +228,48 @@ TEST_F(RaceDetectTest, SingleUpdateIsRaceFree) {
   const forest::ChangeSet m = forest::make_delete_batch(f, 24, 7);
   contract::modify_contraction(c, m);
   EXPECT_EQ(session.races_detected(), 0u);
+}
+
+TEST_F(RaceDetectTest, LeaseNoncesAreFreshPerAcquire) {
+  // A recycled pool block must get a new logical buffer identity on every
+  // acquire; otherwise writes of epoch k+1 would look write-write racy
+  // against epoch k's (already joined) writes to the same cells.
+  Session session(OnRace::kThrow);
+  Workspace ws;
+  std::uint64_t first = 0;
+  std::uint64_t second = 0;
+  {
+    auto lease = ws.acquire<std::uint32_t>(64);
+    first = lease.shadow_nonce();
+  }
+  {
+    auto lease = ws.acquire<std::uint32_t>(64);  // same block, pooled
+    second = lease.shadow_nonce();
+  }
+  EXPECT_EQ(ws.stats().hits, 1u);  // really was recycled
+  EXPECT_NE(first, 0u);
+  EXPECT_NE(second, 0u);
+  EXPECT_NE(first, second);
+}
+
+TEST_F(RaceDetectTest, WorkspaceReuseAcrossEpochsIsRaceFree) {
+  // Steady-state pipelines re-lease the same physical blocks every epoch.
+  // With fresh nonces per acquire the detector must stay silent across
+  // many reuse epochs of the fused scan+pack kernels.
+  Session session(OnRace::kThrow);
+  Workspace ws;
+  std::vector<std::uint64_t> in(20000);
+  for (std::size_t i = 0; i < in.size(); ++i) in[i] = i * 2654435761u;
+  std::vector<std::uint64_t> packed;
+  std::vector<std::uint64_t> scanned(in.size());
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    ws.epoch_reset();
+    prim::pack_into(in, [&](std::size_t i) { return (in[i] & 1) == 0; },
+                    packed, ws);
+    prim::exclusive_scan_into(in.data(), scanned.data(), in.size(), ws);
+  }
+  EXPECT_EQ(session.races_detected(), 0u);
+  EXPECT_GT(ws.stats().hits, 0u);  // the blocks really were reused
 }
 
 // The acceptance check: whole harness workloads — construct, every batched

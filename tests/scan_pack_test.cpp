@@ -9,6 +9,7 @@
 #include "primitives/pack.hpp"
 #include "primitives/scan.hpp"
 #include "primitives/sequence_ops.hpp"
+#include "primitives/workspace.hpp"
 
 namespace parct::prim {
 namespace {
@@ -111,6 +112,79 @@ TEST_P(ScanPackTest, SequenceOps) {
   EXPECT_FALSE(all_of_index(100, [](std::size_t i) { return i < 99; }));
   std::vector<int> mv{3, -1, 7, 2};
   EXPECT_EQ(max_value(mv), 7);
+}
+
+TEST_P(ScanPackTest, IntoVariantsMatchAllocating) {
+  // The destination-passing forms are drop-in equivalents of the classic
+  // signatures; reusing destinations + workspace across calls must not
+  // change any result.
+  Workspace ws;
+  std::vector<std::uint64_t> scan_out;
+  std::vector<std::uint64_t> pack_out;
+  std::vector<std::uint32_t> idx_out;
+  for (std::size_t n : {0, 1, 2, 100, 4096, 4097, 100000}) {
+    auto in = random_values(n, n + 13);
+    auto keep = [&](std::size_t i) { return in[i] % 3 == 0; };
+
+    std::vector<std::uint64_t> scan_ref;
+    const std::uint64_t total_ref = exclusive_scan(in, scan_ref);
+    const std::uint64_t total_got = exclusive_scan_into(in, scan_out, ws);
+    EXPECT_EQ(total_got, total_ref) << "n=" << n;
+    EXPECT_EQ(scan_out, scan_ref) << "n=" << n;
+
+    const auto pack_ref = pack(in, keep);
+    const std::size_t kept = pack_into(in, keep, pack_out, ws);
+    EXPECT_EQ(kept, pack_ref.size()) << "n=" << n;
+    EXPECT_EQ(pack_out, pack_ref) << "n=" << n;
+
+    const auto idx_ref = pack_index(n, keep);
+    pack_index_into(n, keep, idx_out, ws);
+    EXPECT_EQ(idx_out, idx_ref) << "n=" << n;
+
+    EXPECT_EQ(filter_count(n, keep), pack_ref.size()) << "n=" << n;
+  }
+}
+
+TEST_P(ScanPackTest, IntoVariantsAreAllocationFreeWhenWarm) {
+  Workspace ws;
+  std::vector<std::uint64_t> out;
+  std::vector<std::uint64_t> in = random_values(50000, 21);
+  auto keep = [&](std::size_t i) { return (in[i] & 1) == 0; };
+  pack_into(in, keep, out, ws);  // warm-up sizes the pool + destination
+  const WorkspaceStats warm = ws.stats();
+  for (int r = 0; r < 8; ++r) {
+    ws.epoch_reset();
+    pack_into(in, keep, out, ws);
+  }
+  const WorkspaceStats d = workspace_stats_delta(warm, ws.stats());
+  EXPECT_EQ(d.misses, 0u);
+  EXPECT_EQ(d.container_growths, 0u);
+  EXPECT_EQ(d.bytes_allocated, 0u);
+  EXPECT_EQ(d.acquires, d.hits);
+}
+
+TEST(ScanOverflowGuard, BoundaryAtTwoToTheThirtyTwo) {
+  // Satellite of the uint32 precondition (offsets_fit_uint32): drive the
+  // wide-total accumulation with synthetic per-block counts summing to
+  // exactly 2^32 — no 4 GiB input required. 2^20 blocks of 4096 hits each
+  // is one element past the last representable offset total.
+  const std::size_t num_blocks = std::size_t{1} << 20;
+  std::vector<std::uint32_t> counts(num_blocks, 4096u);
+  const std::uint64_t total = detail::wide_block_total(counts.data(),
+                                                       num_blocks);
+  EXPECT_EQ(total, std::uint64_t{1} << 32);
+  EXPECT_FALSE(offsets_fit_uint32(total));
+
+  counts[0] -= 1;  // 2^32 - 1: the largest total that still fits
+  const std::uint64_t at_max = detail::wide_block_total(counts.data(),
+                                                        num_blocks);
+  EXPECT_EQ(at_max, (std::uint64_t{1} << 32) - 1);
+  EXPECT_TRUE(offsets_fit_uint32(at_max));
+
+  // The guard must compare in 64 bits: a narrowed accumulator would wrap
+  // 2^32 to 0 and "fit". Totals beyond the boundary keep failing.
+  EXPECT_FALSE(offsets_fit_uint32((std::uint64_t{1} << 32) + 12345));
+  EXPECT_TRUE(offsets_fit_uint32(0));
 }
 
 INSTANTIATE_TEST_SUITE_P(Workers, ScanPackTest, ::testing::Values(1u, 4u),

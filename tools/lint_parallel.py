@@ -16,6 +16,12 @@ Rules (see docs/STATIC_ANALYSIS.md):
                   parallel_for bodies of instrumented files without a
                   PARCT_SHADOW_WRITE/WRITE_REC annotation nearby — writes
                   the race detector cannot see defeat the instrumentation.
+  vector-in-phase std::vector construction inside a parallel_for lambda or
+                  a hot phase body (DynamicUpdater::apply/propagate,
+                  randomized_contract) in src/contraction/ — hot-path
+                  scratch must come from the Workspace / the *_into
+                  primitives so steady-state rounds stay allocation-free
+                  (docs/PERFORMANCE.md).
 
 Suppression: a line (or the line above it) containing
 `// parct-lint: allow(<rule>)` suppresses that rule for that line; the
@@ -77,6 +83,19 @@ ALLOWED_GLOBAL_TYPES = re.compile(
 
 ALLOW_MARKER = re.compile(r"//\s*parct-lint:\s*allow\((?P<rules>[a-z\-,\s]+)\)")
 
+# vector-in-phase: a std::vector declaration/construction (references are
+# fine — they don't allocate). Enforced only inside parallel_for lambdas
+# and the hot phase bodies of src/contraction/.
+VECTOR_CONSTRUCT = re.compile(r"\bstd::vector\s*<[^;()]*>(?!\s*&)\s*\w+\s*[;({=]")
+
+# The hot phase bodies: one Propagate round, one apply, one contraction
+# round. A match on a line without ';' is a definition (call sites end the
+# statement); the body extends until the brace depth returns to the
+# signature's depth.
+HOT_PHASE_FN = re.compile(
+    r"\b(DynamicUpdater::(apply|propagate)|randomized_contract)\s*\("
+)
+
 
 def allowed(rule: str, lines: list[str], idx: int) -> bool:
     """True if line idx or the line above carries an allow marker for rule."""
@@ -100,10 +119,14 @@ def lint_file(path: Path, findings: list[str]) -> None:
     except UnicodeDecodeError:
         return
     in_parallel_for = rel in INSTRUMENTED
+    in_contraction = rel.startswith("src/contraction/")
+    track_lambdas = in_parallel_for or in_contraction
     depth_stack: list[int] = []  # brace depth at each open parallel_for
     depth = 0
     in_block_comment = False
     prev_code = ""  # last non-blank code line, for continuation detection
+    hot_depth: int | None = None  # brace depth of a hot phase fn signature
+    hot_entered = False  # inside its body (depth went above hot_depth)
 
     for idx, raw in enumerate(lines):
         line = strip_strings(raw)
@@ -159,6 +182,20 @@ def lint_file(path: Path, findings: list[str]) -> None:
                     "must be std::atomic, a mutex, thread_local, or const"
                 )
 
+        # vector-in-phase: std::vector construction inside a parallel_for
+        # lambda or a hot phase body in src/contraction/.
+        if (
+            in_contraction
+            and VECTOR_CONSTRUCT.search(code)
+            and (depth_stack or (hot_depth is not None and hot_entered))
+        ):
+            if not allowed("vector-in-phase", lines, idx):
+                findings.append(
+                    f"{loc}: vector-in-phase: std::vector constructed on the "
+                    "hot path — lease scratch from the Workspace or use a "
+                    "*_into primitive (docs/PERFORMANCE.md)"
+                )
+
         # shadow-write: inside parallel_for bodies of instrumented files.
         if in_parallel_for and depth_stack and SHARED_ARRAYS.search(code):
             window = lines[max(0, idx - 4) : idx + 1]
@@ -170,8 +207,19 @@ def lint_file(path: Path, findings: list[str]) -> None:
                         "PARCT_SHADOW_WRITE within 4 lines"
                     )
 
+        # Track hot-phase function extents (definitions only: call sites
+        # end their statement with ';').
+        if (
+            in_contraction
+            and hot_depth is None
+            and HOT_PHASE_FN.search(code)
+            and ";" not in code
+        ):
+            hot_depth = depth
+            hot_entered = False
+
         # Track parallel_for lambda extents by brace depth.
-        if in_parallel_for and re.search(
+        if track_lambdas and re.search(
             r"\bparallel_for(_blocked)?\s*\(", code
         ):
             depth_stack.append(depth)
@@ -180,13 +228,23 @@ def lint_file(path: Path, findings: list[str]) -> None:
         # Namespace braces should not count toward "inside a function".
         if re.match(r"\s*namespace\b", code) and opens:
             opens -= 1
-        if re.match(r"\s*}\s*//\s*namespace", line) and closes:
+            # A one-line `namespace foo { ... }` (e.g. a forward
+            # declaration) closes on the same line.
+            if closes:
+                closes -= 1
+        elif re.match(r"\s*}\s*//\s*namespace", line) and closes:
             closes -= 1
         depth += opens - closes
         while depth_stack and depth < depth_stack[-1]:
             depth_stack.pop()
         if depth_stack and depth == depth_stack[-1] and ");" in code:
             depth_stack.pop()
+        if hot_depth is not None:
+            if depth > hot_depth:
+                hot_entered = True
+            elif hot_entered and depth <= hot_depth:
+                hot_depth = None
+                hot_entered = False
         if code.strip():
             prev_code = code
 
@@ -234,6 +292,51 @@ def self_test() -> int:
             "    PARCT_SHADOW_WRITE(k);\n"
             "    sums[b] = 1;\n"
             "  });\n"
+            "}\n",
+            None,
+        ),
+        (
+            "src/contraction/foo.cpp",
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t k) {\n"
+            "    std::vector<int> tmp(4);\n"
+            "  });\n"
+            "}\n",
+            "vector-in-phase",
+        ),
+        (
+            "src/contraction/foo.cpp",
+            "void DynamicUpdater::propagate(std::uint32_t i) {\n"
+            "  std::vector<VertexId> next;\n"
+            "}\n",
+            "vector-in-phase",
+        ),
+        (
+            "src/contraction/foo.cpp",
+            "void DynamicUpdater::propagate(std::uint32_t i) {\n"
+            "  // parct-lint: allow(vector-in-phase) reason: test fixture\n"
+            "  std::vector<VertexId> next;\n"
+            "}\n",
+            None,
+        ),
+        (
+            # A reference binding does not allocate; a helper outside the
+            # hot functions may build vectors freely.
+            "src/contraction/foo.cpp",
+            "void DynamicUpdater::propagate(std::uint32_t i) {\n"
+            "  const std::vector<VertexId>& view = lset_;\n"
+            "}\n"
+            "void helper() {\n"
+            "  std::vector<int> fine;\n"
+            "}\n",
+            None,
+        ),
+        (
+            # Call sites of apply() do not open a hot extent.
+            "src/contraction/foo.cpp",
+            "void driver(DynamicUpdater& u, const forest::ChangeSet& m) {\n"
+            "  u.apply(m);\n"
+            "  std::vector<int> fine;\n"
             "}\n",
             None,
         ),
