@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <mutex>
 #include <vector>
 
 #include "forest/types.hpp"
@@ -95,6 +96,39 @@ class MultiHooks final : public EventHooks {
 
  private:
   std::vector<EventHooks*> sinks_;
+};
+
+/// Records every vertex whose contraction event was (re)computed during a
+/// construction or dynamic update — exactly the refresh set that
+/// RCForest::refresh and TreeAggregate::prepare_update need, except for
+/// the batch's removed vertices (V- fires no event; append those
+/// yourself). Entries may repeat across rounds of one update; consumers
+/// that need uniqueness deduplicate (refresh and prepare_update both
+/// tolerate duplicates).
+class TouchedRecorder final : public EventHooks {
+ public:
+  void on_finalize(std::uint32_t, VertexId v) override { note(v); }
+  void on_rake(std::uint32_t, VertexId v, VertexId) override { note(v); }
+  void on_compress(std::uint32_t, VertexId v, VertexId,
+                   VertexId) override {
+    note(v);
+  }
+
+  const std::vector<VertexId>& vertices() const { return vs_; }
+  std::vector<VertexId>& vertices() { return vs_; }
+  void clear() { vs_.clear(); }
+
+ private:
+  // Events fire from parallel regions (distinct vertices concurrently);
+  // the touched set is small — the affected region — so a mutex push is
+  // cheap relative to the re-execution work that triggered it.
+  void note(VertexId v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    vs_.push_back(v);
+  }
+
+  std::mutex mu_;
+  std::vector<VertexId> vs_;
 };
 
 }  // namespace parct::contract

@@ -49,7 +49,9 @@ void fork2join(F1&& f1, F2&& f2) {
     return;
   }
 #endif
-  if (scheduler::num_workers() == 1) {
+  // serial_forced() first: a SerialScope thread must not touch the pool
+  // (num_workers() starts it), let alone push tasks onto worker 0's deque.
+  if (scheduler::serial_forced() || scheduler::num_workers() == 1) {
     f1();
     f2();
     return;

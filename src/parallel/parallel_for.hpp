@@ -36,10 +36,11 @@ inline bool race_detect_forced() {
 }
 
 /// The canonical "degenerate to a plain sequential loop" test for the
-/// primitives: true on a 1-worker pool, unless a detection session forces
-/// the parallel shape.
+/// primitives: true on a 1-worker pool or under a scheduler::SerialScope,
+/// unless a detection session forces the parallel shape.
 inline bool sequential_mode() {
-  return !race_detect_forced() && scheduler::num_workers() == 1;
+  return !race_detect_forced() &&
+         (scheduler::serial_forced() || scheduler::num_workers() == 1);
 }
 
 namespace detail {
@@ -96,7 +97,8 @@ void parallel_for(std::size_t lo, std::size_t hi, const F& f,
     return;
   }
   const std::size_t n = hi - lo;
-  if (scheduler::num_workers() == 1 || n == 1) {
+  if (scheduler::serial_forced() || scheduler::num_workers() == 1 ||
+      n == 1) {
     for (std::size_t i = lo; i < hi; ++i) f(i);
     return;
   }
@@ -112,7 +114,8 @@ template <typename Body>
 void parallel_for_blocked(std::size_t lo, std::size_t hi, const Body& body,
                           std::size_t grain = 0) {
   if (hi <= lo) return;
-  if (!race_detect_forced() && scheduler::num_workers() == 1) {
+  if (!race_detect_forced() &&
+      (scheduler::serial_forced() || scheduler::num_workers() == 1)) {
     body(lo, hi);
     return;
   }
@@ -143,7 +146,7 @@ T parallel_reduce(std::size_t lo, std::size_t hi, T identity, const Map& map,
     return detail::parallel_reduce_rec(lo, hi, 1, identity, map, combine);
   }
   const std::size_t n = hi - lo;
-  if (scheduler::num_workers() == 1) {
+  if (scheduler::serial_forced() || scheduler::num_workers() == 1) {
     T acc = identity;
     for (std::size_t i = lo; i < hi; ++i) acc = combine(acc, map(i));
     return acc;

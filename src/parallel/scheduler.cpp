@@ -73,6 +73,7 @@ thread_local unsigned tl_worker_id = 0;
 thread_local const Pool* tl_pool = nullptr;
 thread_local bool tl_in_task = false;
 thread_local int tl_region_depth = 0;
+thread_local int tl_serial_depth = 0;
 
 unsigned self_id(const Pool& pool) {
   return tl_pool == &pool ? tl_worker_id : 0;
@@ -279,6 +280,11 @@ unsigned worker_id() {
 }
 
 bool in_parallel_region() { return tl_in_task || tl_region_depth > 0; }
+
+bool serial_forced() { return tl_serial_depth > 0; }
+
+SerialScope::SerialScope() { ++tl_serial_depth; }
+SerialScope::~SerialScope() { --tl_serial_depth; }
 
 Workspace& worker_workspace() {
   // One pool per thread: pool threads (the workers) each get their own,

@@ -104,6 +104,30 @@ unsigned worker_id();
 /// (i.e. stack-allocated tasks of this thread may be live on the deques).
 bool in_parallel_region();
 
+/// True while the calling thread has an open SerialScope: every fork-join
+/// construct degenerates to a plain sequential call on this thread and
+/// never touches the pool (no task pushes, no pool start).
+bool serial_forced();
+
+/// RAII: forces all parallel constructs opened by the calling thread to run
+/// serially, without interacting with the work-stealing pool at all.
+///
+/// This is what lets a *second* external thread run pool-free work (e.g.
+/// the serving layer's update thread executing DynamicUpdater::apply while
+/// worker 0 fans out queries): the scheduler maps every non-pool thread
+/// onto worker 0's deque, so two external threads forking concurrently
+/// would race on that deque — under a SerialScope the thread never forks.
+/// Nestable; an active SP-bags detection session takes precedence (the
+/// detector needs the logical fork tree, which it executes serially
+/// anyway).
+class SerialScope {
+ public:
+  SerialScope();
+  ~SerialScope();
+  SerialScope(const SerialScope&) = delete;
+  SerialScope& operator=(const SerialScope&) = delete;
+};
+
 /// The calling worker's scratch pool (primitives/workspace.hpp). One
 /// Workspace per pool thread (thread-local, so the main thread outside any
 /// pool gets one too): parallel phases that need scratch on their own

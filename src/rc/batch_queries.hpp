@@ -3,8 +3,23 @@
 // read-only pointer chases over the contraction records, so they scale
 // embarrassingly — this is where a parallel dynamic structure pays off on
 // the query side too.
+//
+// The root/connectivity entry points are templated on a *view*: any type
+// exposing `size()`, `present(v)` and `root(v)` (called only on present
+// ids). Both the live rc::RCForest and the serving layer's immutable
+// service::Snapshot satisfy the concept, so the same batch code answers
+// ad-hoc queries against the live structure and epoch-pinned queries
+// against a snapshot.
+//
+// Out-of-range / stale vertex ids: every entry point debug-asserts that
+// each queried id is in range and present. In release builds an invalid id
+// has a *defined* result instead of walking garbage pointer chains:
+// kNoVertex from batch_roots, 0 (not connected) from batch_connected, T{}
+// from batch_tree_weights, and the aggregate's identity from
+// batch_paths_to_root.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -16,47 +31,82 @@
 
 namespace parct::rc {
 
-/// roots[i] = root of queries[i]'s tree.
-inline std::vector<VertexId> batch_roots(
-    const RCForest& rcf, const std::vector<VertexId>& queries) {
+namespace detail {
+
+/// In range and present in the view — the precondition of every
+/// per-vertex query.
+template <typename View>
+bool valid_query(const View& view, VertexId v) {
+  return v < view.size() && view.present(v);
+}
+
+}  // namespace detail
+
+/// roots[i] = root of queries[i]'s tree (kNoVertex for invalid ids).
+template <typename View>
+std::vector<VertexId> batch_roots(const View& view,
+                                  const std::vector<VertexId>& queries) {
   std::vector<VertexId> out(queries.size());
   par::parallel_for(0, queries.size(), [&](std::size_t i) {
-    out[i] = rcf.root(queries[i]);
+    const VertexId v = queries[i];
+    assert(detail::valid_query(view, v) &&
+           "batch_roots: out-of-range or absent vertex id");
+    out[i] = detail::valid_query(view, v) ? view.root(v) : kNoVertex;
   });
   return out;
 }
 
-/// result[i] = whether the i-th pair is in the same tree.
-inline std::vector<std::uint8_t> batch_connected(
-    const RCForest& rcf,
+/// result[i] = whether the i-th pair is in the same tree (0 if either id
+/// is invalid).
+template <typename View>
+std::vector<std::uint8_t> batch_connected(
+    const View& view,
     const std::vector<std::pair<VertexId, VertexId>>& pairs) {
   std::vector<std::uint8_t> out(pairs.size());
   par::parallel_for(0, pairs.size(), [&](std::size_t i) {
-    out[i] = rcf.connected(pairs[i].first, pairs[i].second) ? 1 : 0;
+    const VertexId u = pairs[i].first;
+    const VertexId v = pairs[i].second;
+    assert(detail::valid_query(view, u) && detail::valid_query(view, v) &&
+           "batch_connected: out-of-range or absent vertex id");
+    out[i] = detail::valid_query(view, u) && detail::valid_query(view, v) &&
+                     view.root(u) == view.root(v)
+                 ? 1
+                 : 0;
   });
   return out;
 }
 
-/// result[i] = total weight of queries[i]'s tree.
+/// result[i] = total weight of queries[i]'s tree (T{} for invalid ids).
+/// `agg` must be the aggregate maintained over `rcf` (debug-asserted); the
+/// forest argument is what supplies the per-id validity check.
 template <typename T>
 std::vector<T> batch_tree_weights(const RCForest& rcf,
                                   const TreeAggregate<T>& agg,
                                   const std::vector<VertexId>& queries) {
-  (void)rcf;
+  assert(&agg.forest() == &rcf &&
+         "batch_tree_weights: aggregate is bound to a different RCForest");
   std::vector<T> out(queries.size());
   par::parallel_for(0, queries.size(), [&](std::size_t i) {
-    out[i] = agg.tree_weight(queries[i]);
+    const VertexId v = queries[i];
+    assert(detail::valid_query(rcf, v) &&
+           "batch_tree_weights: out-of-range or absent vertex id");
+    out[i] = detail::valid_query(rcf, v) ? agg.tree_weight(v) : T{};
   });
   return out;
 }
 
-/// result[i] = path-to-root aggregate of queries[i].
+/// result[i] = path-to-root aggregate of queries[i] (the aggregate's
+/// identity for invalid ids).
 template <typename T, typename Combine>
 std::vector<T> batch_paths_to_root(const PathAggregate<T, Combine>& agg,
                                    const std::vector<VertexId>& queries) {
+  const contract::ContractionForest& c = agg.structure();
   std::vector<T> out(queries.size());
   par::parallel_for(0, queries.size(), [&](std::size_t i) {
-    out[i] = agg.path_to_root(queries[i]);
+    const VertexId v = queries[i];
+    const bool valid = v < c.capacity() && c.duration(v) > 0;
+    assert(valid && "batch_paths_to_root: out-of-range or absent vertex id");
+    out[i] = valid ? agg.path_to_root(v) : agg.identity();
   });
   return out;
 }

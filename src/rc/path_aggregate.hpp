@@ -57,6 +57,12 @@ class PathAggregate final : public contract::EventHooks {
 
   const T& edge_weight(VertexId v) const { return vals_[v][0]; }
 
+  /// The structure the aggregate is bound to (validity checks in the batch
+  /// query layer) and the monoid identity (the defined result for invalid
+  /// ids there).
+  const contract::ContractionForest& structure() const { return c_; }
+  const T& identity() const { return identity_; }
+
   /// Aggregate of edge values from v up to its tree root (identity for
   /// roots). O(log n) expected.
   T path_to_root(VertexId v) const {

@@ -50,10 +50,18 @@ class RCForest {
 
   const contract::ContractionForest& structure() const { return c_; }
 
+  /// Number of vertex slots with derived events (== the structure's
+  /// capacity at the last rebuild/refresh) — the bound for valid ids.
+  std::size_t size() const { return events_.size(); }
+
   bool present(VertexId v) const {
     return v < events_.size() && events_[v].kind != EventKind::kAbsent;
   }
   const Event& event(VertexId v) const { return events_[v]; }
+
+  /// The derived event table itself — what the serving layer copies into
+  /// an immutable snapshot (service/snapshot.hpp).
+  const std::vector<Event>& events() const { return events_; }
 
   /// The vertex v merges into at death (kNoVertex for finalizers).
   VertexId representative(VertexId v) const { return events_[v].into; }

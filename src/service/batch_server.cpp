@@ -1,0 +1,350 @@
+#include "service/batch_server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "contraction/telemetry.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/scheduler.hpp"
+
+namespace parct::service {
+
+BatchServer::BatchServer(contract::ContractionForest& c, ServiceConfig config,
+                         std::vector<Weight> weights)
+    : c_(c),
+      updater_(c),
+      rcf_(c),
+      agg_(rcf_, std::move(weights)),
+      mirror_(config.validate_updates ? c.extract_forest()
+                                      : forest::Forest(0)),
+      cfg_(config) {
+  publish_version(0);
+}
+
+BatchServer::~BatchServer() { stop(); }
+
+void BatchServer::publish_version(std::uint64_t version) {
+  auto buf = store_.begin_build();
+  buf->assign_from(rcf_, &agg_, version);
+  store_.publish(std::move(buf));
+}
+
+std::future<QueryResult> BatchServer::submit_queries(QueryBatch q) {
+  std::promise<QueryResult> p;
+  std::future<QueryResult> fut = p.get_future();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_) {
+      throw std::runtime_error("BatchServer: submit_queries after stop()");
+    }
+    if (query_queue_.size() >= cfg_.max_pending_query_batches) {
+      {
+        std::lock_guard<std::mutex> slk(stats_mu_);
+        ++stats_.backpressure_waits;
+      }
+      cv_space_.wait(lk, [&] {
+        return stopping_ ||
+               query_queue_.size() < cfg_.max_pending_query_batches;
+      });
+      if (stopping_) {
+        throw std::runtime_error("BatchServer: submit_queries after stop()");
+      }
+    }
+    query_queue_.push_back(PendingQuery{std::move(q), std::move(p)});
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    stats_.max_query_queue_depth = std::max<std::uint64_t>(
+        stats_.max_query_queue_depth, query_queue_.size());
+  }
+  cv_work_.notify_all();
+  return fut;
+}
+
+std::future<UpdateResult> BatchServer::submit_update(UpdateRequest u) {
+  std::promise<UpdateResult> p;
+  std::future<UpdateResult> fut = p.get_future();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (stopping_) {
+      throw std::runtime_error("BatchServer: submit_update after stop()");
+    }
+    if (update_queue_.size() >= cfg_.max_pending_updates) {
+      {
+        std::lock_guard<std::mutex> slk(stats_mu_);
+        ++stats_.backpressure_waits;
+      }
+      cv_space_.wait(lk, [&] {
+        return stopping_ || update_queue_.size() < cfg_.max_pending_updates;
+      });
+      if (stopping_) {
+        throw std::runtime_error("BatchServer: submit_update after stop()");
+      }
+    }
+    update_queue_.push_back(PendingUpdate{std::move(u), std::move(p)});
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    stats_.max_update_queue_depth = std::max<std::uint64_t>(
+        stats_.max_update_queue_depth, update_queue_.size());
+  }
+  cv_work_.notify_all();
+  return fut;
+}
+
+void BatchServer::start() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (started_) return;
+  if (stopping_) {
+    throw std::runtime_error("BatchServer: start() after stop()");
+  }
+  started_ = true;
+  // The engine is a long-lived service thread, not a parallel-loop worker;
+  // parallel work inside epochs still goes through parallel_for on the pool.
+  // parct-lint: allow(raw-thread) reason: service engine thread
+  engine_ = std::thread([this] { engine_loop(); });
+}
+
+void BatchServer::stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  if (engine_.joinable()) engine_.join();
+}
+
+void BatchServer::engine_loop() {
+  for (;;) {
+    std::vector<PendingQuery> queries;
+    std::optional<PendingUpdate> update;
+    std::size_t qdepth = 0;
+    std::size_t udepth = 0;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [&] {
+        return stopping_ || !query_queue_.empty() || !update_queue_.empty();
+      });
+      // stop() drains: keep processing admitted work, exit once empty.
+      if (query_queue_.empty() && update_queue_.empty()) break;
+      qdepth = query_queue_.size();
+      udepth = update_queue_.size();
+      queries.reserve(qdepth);
+      while (!query_queue_.empty()) {
+        queries.push_back(std::move(query_queue_.front()));
+        query_queue_.pop_front();
+      }
+      if (!update_queue_.empty()) {
+        update.emplace(std::move(update_queue_.front()));
+        update_queue_.pop_front();
+      }
+    }
+    cv_space_.notify_all();
+    process_epoch(std::move(queries), std::move(update), qdepth, udepth,
+                  cfg_.overlap_updates);
+  }
+}
+
+bool BatchServer::step() {
+  std::vector<PendingQuery> queries;
+  std::optional<PendingUpdate> update;
+  std::size_t qdepth = 0;
+  std::size_t udepth = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    qdepth = query_queue_.size();
+    udepth = update_queue_.size();
+    if (qdepth == 0 && udepth == 0) return false;
+    queries.reserve(qdepth);
+    while (!query_queue_.empty()) {
+      queries.push_back(std::move(query_queue_.front()));
+      query_queue_.pop_front();
+    }
+    if (!update_queue_.empty()) {
+      update.emplace(std::move(update_queue_.front()));
+      update_queue_.pop_front();
+    }
+  }
+  cv_space_.notify_all();
+  return process_epoch(std::move(queries), std::move(update), qdepth, udepth,
+                       /*allow_overlap=*/false);
+}
+
+QueryResult BatchServer::answer(const QueryBatch& q,
+                                const Snapshot& snap) const {
+  // Queries read only the pinned snapshot — never the live
+  // ContractionForest/RCForest, which the overlapped apply() may be
+  // mutating (tools/lint_parallel.py enforces this for service sources).
+  QueryResult r;
+  r.version = snap.version;
+  r.roots.resize(q.roots.size());
+  par::parallel_for(0, q.roots.size(), [&](std::size_t i) {
+    r.roots[i] = snap.root(q.roots[i]);
+  });
+  r.connected.resize(q.connected.size());
+  par::parallel_for(0, q.connected.size(), [&](std::size_t i) {
+    r.connected[i] =
+        snap.connected(q.connected[i].first, q.connected[i].second) ? 1 : 0;
+  });
+  r.tree_weights.resize(q.tree_weights.size());
+  par::parallel_for(0, q.tree_weights.size(), [&](std::size_t i) {
+    r.tree_weights[i] = snap.tree_weight(q.tree_weights[i]);
+  });
+  return r;
+}
+
+bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
+                                std::optional<PendingUpdate> update,
+                                std::size_t qdepth, std::size_t udepth,
+                                bool allow_overlap) {
+  if (queries.empty() && !update) return false;
+  const auto t_epoch = contract::stats_now();
+  const SnapshotHandle pinned = store_.acquire();
+
+  // Admission control for the update: reject invalid batches (and any
+  // batch after a failed apply) before touching the structure.
+  std::uint64_t rejected = 0;
+  if (update && failed_) {
+    update->promise.set_exception(std::make_exception_ptr(std::runtime_error(
+        "BatchServer: an earlier update failed; updates halted")));
+    update.reset();
+    ++rejected;
+  }
+  if (update && cfg_.validate_updates) {
+    if (auto err = forest::check_change_set(mirror_, update->request.batch)) {
+      update->promise.set_exception(std::make_exception_ptr(
+          std::invalid_argument("BatchServer: rejected update batch: " +
+                                *err)));
+      update.reset();
+      ++rejected;
+    }
+  }
+  const std::uint64_t update_ops =
+      update ? update->request.batch.size() : 0;
+
+  contract::UpdateStats ustats;
+  contract::TouchedRecorder touched;
+  std::exception_ptr update_error;
+  double update_secs = 0;
+  auto run_update = [&] {
+    const auto t0 = contract::stats_now();
+    try {
+      ustats = updater_.apply(update->request.batch, &touched);
+    } catch (...) {
+      update_error = std::current_exception();
+    }
+    update_secs = contract::stats_since(t0);
+  };
+
+  std::uint64_t queries_answered = 0;
+  const auto t_q = contract::stats_now();
+  bool overlapped = false;
+  if (update && allow_overlap && !queries.empty()) {
+    overlapped = true;
+    // The pipelining overlap itself: the update propagates toward version
+    // v+1 under a SerialScope (off the pool) while this thread fans the
+    // epoch's queries out on the pool against the pinned version-v snapshot.
+    // parct-lint: allow(raw-thread) reason: epoch overlap thread
+    std::thread ut([&] {
+      par::scheduler::SerialScope serial;
+      run_update();
+    });
+    for (PendingQuery& pq : queries) {
+      queries_answered += pq.batch.size();
+      pq.promise.set_value(answer(pq.batch, *pinned));
+    }
+    ut.join();
+  } else {
+    for (PendingQuery& pq : queries) {
+      queries_answered += pq.batch.size();
+      pq.promise.set_value(answer(pq.batch, *pinned));
+    }
+    if (update) run_update();  // full pool available, no overlap thread
+  }
+  const double query_secs = contract::stats_since(t_q);
+
+  double publish_secs = 0;
+  bool applied = false;
+  if (update) {
+    if (update_error) {
+      failed_ = true;
+      update->promise.set_exception(update_error);
+    } else {
+      const auto t_p = contract::stats_now();
+      // Repair the derived layers over the affected region: the touched
+      // set is the event-fired vertices plus the batch's V- (which fires
+      // no event). prepare_update must see the pre-refresh events (old
+      // representatives), so it runs before refresh.
+      std::vector<VertexId>& tv = touched.vertices();
+      tv.insert(tv.end(), update->request.batch.remove_vertices.begin(),
+                update->request.batch.remove_vertices.end());
+      agg_.prepare_update(tv);
+      rcf_.refresh(tv);
+      agg_.apply_update();
+      for (const auto& [v, w] : update->request.vertex_weights) {
+        if (v < rcf_.size() && rcf_.present(v)) agg_.set_weight(v, w);
+      }
+      if (cfg_.validate_updates) {
+        mirror_ = forest::apply_change_set(mirror_, update->request.batch);
+      }
+      ++version_;
+      publish_version(version_);
+      publish_secs = contract::stats_since(t_p);
+      // Fulfilled only after publication: a waiter that then calls
+      // snapshot() observes its own write.
+      update->promise.set_value(UpdateResult{version_, ustats});
+      applied = true;
+    }
+  }
+  const double epoch_secs = contract::stats_since(t_epoch);
+
+  {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    ++stats_.epochs;
+    if (overlapped) ++stats_.overlapped_epochs;
+    stats_.query_batches += queries.size();
+    stats_.queries_served += queries_answered;
+    stats_.updates_rejected += rejected;
+    if (applied) {
+      ++stats_.updates_applied;
+      stats_.update_ops += update_ops;
+    }
+    stats_.epoch_seconds += epoch_secs;
+    stats_.query_seconds += query_secs;
+    stats_.update_seconds += update_secs;
+    stats_.publish_seconds += publish_secs;
+    if constexpr (contract::kStatsEnabled) {
+      if (stats_.epoch_log.size() < cfg_.max_epoch_log) {
+        EpochRecord rec;
+        rec.version = pinned.version();
+        rec.query_batches = static_cast<std::uint32_t>(queries.size());
+        rec.queries = static_cast<std::uint32_t>(queries_answered);
+        rec.update_ops = static_cast<std::uint32_t>(update_ops);
+        rec.query_queue_depth = static_cast<std::uint32_t>(qdepth);
+        rec.update_queue_depth = static_cast<std::uint32_t>(udepth);
+        rec.overlapped = overlapped;
+        rec.epoch_seconds = epoch_secs;
+        rec.query_seconds = query_secs;
+        rec.update_seconds = update_secs;
+        rec.publish_seconds = publish_secs;
+        stats_.epoch_log.push_back(rec);
+      } else {
+        ++stats_.dropped_epoch_records;
+      }
+    }
+  }
+  return true;
+}
+
+ServiceStats BatchServer::stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> slk(stats_mu_);
+    s = stats_;
+  }
+  s.snapshots_published = store_.published();
+  s.snapshot_buffers_reused = store_.buffers_reused();
+  s.snapshot_buffers_allocated = store_.buffers_allocated();
+  return s;
+}
+
+}  // namespace parct::service

@@ -1,0 +1,238 @@
+// BatchServer: epoch-based concurrent serving on top of the contraction
+// structure — the "dynamic AND parallel" shape the paper motivates, turned
+// into a query/update pipeline.
+//
+// Requests are admitted into bounded queues (submitters block when full:
+// backpressure, not unbounded memory). The epoch engine repeatedly:
+//
+//   1. coalesces every pending query batch plus at most one update batch
+//      into an epoch,
+//   2. pins the current Snapshot (version v) and fans the queries out with
+//      parallel_for on the work-stealing pool against that immutable view,
+//      while — overlapped on a second thread under a
+//      scheduler::SerialScope — DynamicUpdater::apply propagates the
+//      update batch toward version v+1 on the live structure,
+//   3. repairs the derived layers incrementally (RCForest::refresh +
+//      TreeAggregate::prepare_update/apply_update over the touched set),
+//      builds version v+1 into a recycled snapshot buffer, and publishes
+//      it for the next epoch's queries.
+//
+// Readers never observe a half-propagated round: they only ever see
+// published snapshots, and a snapshot is only published after apply() and
+// the derived-layer repair complete. Every QueryResult carries the version
+// it was answered at, which is what lets the tests cross-check concurrent
+// histories against a serialized oracle.
+//
+// Pool ownership: while the server is start()ed, its engine thread is the
+// only external thread driving the fork-join pool (the scheduler maps all
+// non-pool threads onto worker 0's deque, so a second forking thread
+// would race on it). Do not run parct parallel operations from other
+// threads, and do not re-initialize the scheduler, between start() and
+// stop(). The update thread is exempt by design: it runs under a
+// SerialScope and never touches the pool.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "contraction/contraction_forest.hpp"
+#include "contraction/dynamic_update.hpp"
+#include "contraction/hooks.hpp"
+#include "forest/change_set.hpp"
+#include "forest/forest.hpp"
+#include "rc/rc_forest.hpp"
+#include "rc/tree_aggregate.hpp"
+#include "service/snapshot.hpp"
+
+namespace parct::service {
+
+struct ServiceConfig {
+  /// Bounded admission queues; submit_* blocks (backpressure) while full.
+  std::size_t max_pending_updates = 16;
+  std::size_t max_pending_query_batches = 256;
+
+  /// Overlap apply() (on a SerialScope thread) with the epoch's query
+  /// fan-out. Off: the epoch runs queries first, then the update with the
+  /// full pool — same observable results (queries are answered against
+  /// the pinned snapshot either way), no extra thread. step() always
+  /// behaves as if this were off.
+  bool overlap_updates = true;
+
+  /// Check every batch with forest::check_change_set against a mirrored
+  /// forest before applying; invalid batches reject their future with
+  /// std::invalid_argument instead of corrupting the structure. Costs
+  /// O(n) per update — serving default on, benches turn it off.
+  bool validate_updates = true;
+
+  /// Cap on the per-epoch telemetry log (PARCT_STATS builds).
+  std::size_t max_epoch_log = 4096;
+};
+
+/// One batch of independent read-only queries, answered together against
+/// one pinned snapshot. Invalid (out-of-range / absent) ids are served
+/// with defined sentinels: kNoVertex roots, 0 connectivity, 0 weights.
+struct QueryBatch {
+  std::vector<VertexId> roots;
+  std::vector<std::pair<VertexId, VertexId>> connected;
+  std::vector<VertexId> tree_weights;
+
+  std::size_t size() const {
+    return roots.size() + connected.size() + tree_weights.size();
+  }
+  bool empty() const { return size() == 0; }
+};
+
+struct QueryResult {
+  /// Version the batch was answered at (snapshot pinned for the epoch).
+  std::uint64_t version = 0;
+  std::vector<VertexId> roots;
+  std::vector<std::uint8_t> connected;
+  std::vector<Weight> tree_weights;
+};
+
+struct UpdateRequest {
+  forest::ChangeSet batch;
+  /// Weights assigned (after the structural repair) to vertices the batch
+  /// makes present — or re-assigned to existing vertices.
+  std::vector<std::pair<VertexId, Weight>> vertex_weights;
+};
+
+struct UpdateResult {
+  /// Version this update produced; snapshots at >= this version include it.
+  std::uint64_t version = 0;
+  contract::UpdateStats stats;
+};
+
+/// Per-epoch telemetry record (populated in PARCT_STATS builds).
+struct EpochRecord {
+  std::uint64_t version = 0;       // version queries were answered at
+  std::uint32_t query_batches = 0;
+  std::uint32_t queries = 0;
+  std::uint32_t update_ops = 0;
+  std::uint32_t query_queue_depth = 0;   // at epoch admission
+  std::uint32_t update_queue_depth = 0;
+  bool overlapped = false;
+  double epoch_seconds = 0;
+  double query_seconds = 0;
+  double update_seconds = 0;
+  double publish_seconds = 0;
+};
+
+struct ServiceStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t overlapped_epochs = 0;
+  std::uint64_t query_batches = 0;
+  std::uint64_t queries_served = 0;  // individual query items
+  std::uint64_t updates_applied = 0;
+  std::uint64_t update_ops = 0;
+  std::uint64_t updates_rejected = 0;
+  std::uint64_t snapshots_published = 0;
+  std::uint64_t snapshot_buffers_reused = 0;
+  std::uint64_t snapshot_buffers_allocated = 0;
+  std::uint64_t backpressure_waits = 0;
+  std::uint64_t max_query_queue_depth = 0;
+  std::uint64_t max_update_queue_depth = 0;
+  std::uint64_t dropped_epoch_records = 0;
+
+  // Wall-clock accumulations (0 unless built with PARCT_STATS).
+  double epoch_seconds = 0;
+  double query_seconds = 0;
+  double update_seconds = 0;
+  double publish_seconds = 0;
+
+  std::vector<EpochRecord> epoch_log;  // PARCT_STATS builds only
+};
+
+class BatchServer {
+ public:
+  /// Binds to a fully constructed structure. `weights` seeds the tree
+  /// aggregate (missing entries default to 0). The server owns a
+  /// DynamicUpdater on `c`; nothing else may mutate `c` while the server
+  /// is alive.
+  explicit BatchServer(contract::ContractionForest& c,
+                       ServiceConfig config = {},
+                       std::vector<Weight> weights = {});
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Thread-safe. Blocks while the query queue is full; throws
+  /// std::runtime_error after stop(). The future resolves with the epoch
+  /// that serves the batch.
+  std::future<QueryResult> submit_queries(QueryBatch q);
+
+  /// Thread-safe. Blocks while the update queue is full. Updates are
+  /// applied in submission order; the future resolves after the produced
+  /// version is published (read-your-writes: snapshot() then observes it).
+  std::future<UpdateResult> submit_update(UpdateRequest u);
+
+  /// Spawns the epoch engine thread. stop() drains both queues, processes
+  /// everything still admitted, then joins; the destructor calls stop().
+  void start();
+  void stop();
+
+  /// Processes one epoch inline on the calling thread (all pending query
+  /// batches + at most one update), without the engine thread and without
+  /// overlap — deterministic, single-threaded epoch semantics for tests
+  /// (including SP-bags race-detector sessions). Returns false if there
+  /// was nothing to do. Never mix with a start()ed engine.
+  bool step();
+
+  /// Pin of the currently published version (any thread).
+  SnapshotHandle snapshot() const { return store_.acquire(); }
+
+  /// Version produced by the most recently published update epoch.
+  std::uint64_t version() const { return store_.version(); }
+
+  ServiceStats stats() const;
+
+ private:
+  struct PendingQuery {
+    QueryBatch batch;
+    std::promise<QueryResult> promise;
+  };
+  struct PendingUpdate {
+    UpdateRequest request;
+    std::promise<UpdateResult> promise;
+  };
+
+  void engine_loop();
+  bool process_epoch(std::vector<PendingQuery> queries,
+                     std::optional<PendingUpdate> update,
+                     std::size_t query_depth, std::size_t update_depth,
+                     bool allow_overlap);
+  QueryResult answer(const QueryBatch& q, const Snapshot& snap) const;
+  void publish_version(std::uint64_t version);
+
+  contract::ContractionForest& c_;
+  contract::DynamicUpdater updater_;
+  rc::RCForest rcf_;
+  rc::TreeAggregate<Weight> agg_;
+  forest::Forest mirror_;  // maintained only when validate_updates
+  SnapshotStore store_;
+  ServiceConfig cfg_;
+  std::uint64_t version_ = 0;  // engine/step thread only
+  bool failed_ = false;        // an apply() threw; updates are halted
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_space_;
+  std::deque<PendingQuery> query_queue_;
+  std::deque<PendingUpdate> update_queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  // parct-lint: allow(raw-thread) reason: service engine thread handle
+  std::thread engine_;
+
+  mutable std::mutex stats_mu_;
+  ServiceStats stats_;
+};
+
+}  // namespace parct::service

@@ -1,0 +1,191 @@
+// Epoch-pinned snapshots of the query-relevant derived state.
+//
+// A Snapshot is an *immutable* copy of everything the read side needs —
+// the RC event table (representative links for root/connectivity) and the
+// tree-aggregate tables — stamped with a version number. Queries fan out
+// over a snapshot with plain parallel_for and never look at the live
+// ContractionForest, so a DynamicUpdater::apply mutating the live
+// structure on another thread can never expose a half-propagated round to
+// readers: snapshot isolation by construction, not by locking.
+//
+// SnapshotStore is the RCU-style publication point: writers build the
+// successor version into a recycled buffer (double-buffering — a retired
+// buffer is reused once the last reader handle drops it, so the steady
+// state allocates nothing beyond the two O(n) buffers) and publish() it
+// atomically; readers acquire() a SnapshotHandle that pins one version
+// for as long as they hold it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "forest/types.hpp"
+#include "rc/rc_forest.hpp"
+#include "rc/tree_aggregate.hpp"
+
+namespace parct::service {
+
+/// Weight type served by the snapshot/serving layer (the core
+/// TreeAggregate stays generic; the service fixes one concrete group).
+using Weight = long;
+
+struct Snapshot {
+  /// Monotonic structure version: 0 for the initial construction, +1 per
+  /// applied update batch.
+  std::uint64_t version = 0;
+
+  /// Copy of RCForest::events() at this version.
+  std::vector<rc::Event> events;
+  /// Copies of TreeAggregate weights()/accumulators() at this version
+  /// (empty when the server runs without weights).
+  std::vector<Weight> weights;
+  std::vector<Weight> accumulators;
+
+  // --- the batch-query View concept (rc/batch_queries.hpp) -------------
+  // All entry points are total: an out-of-range or absent id yields the
+  // defined sentinel instead of UB, so snapshots can serve untrusted ids.
+
+  std::size_t size() const { return events.size(); }
+
+  bool present(VertexId v) const {
+    return v < events.size() &&
+           events[v].kind != rc::EventKind::kAbsent;
+  }
+
+  VertexId representative(VertexId v) const { return events[v].into; }
+
+  /// Root of v's tree at this version; kNoVertex for invalid ids.
+  /// O(log n) expected (climbs the representative chain).
+  VertexId root(VertexId v) const {
+    if (!present(v)) return kNoVertex;
+    while (events[v].into != kNoVertex) v = events[v].into;
+    return v;
+  }
+
+  bool connected(VertexId u, VertexId v) const {
+    if (!present(u) || !present(v)) return false;
+    return root(u) == root(v);
+  }
+
+  /// Total weight of v's tree at this version; Weight{} for invalid ids
+  /// or when the snapshot carries no weights.
+  Weight tree_weight(VertexId v) const {
+    const VertexId r = root(v);
+    return r != kNoVertex && r < accumulators.size() ? accumulators[r]
+                                                     : Weight{};
+  }
+
+  /// Fills this buffer from the live derived state. O(n) vector copies
+  /// (memcpy-speed; capacity is reused on recycled buffers).
+  void assign_from(const rc::RCForest& rcf,
+                   const rc::TreeAggregate<Weight>* agg,
+                   std::uint64_t new_version) {
+    version = new_version;
+    events = rcf.events();
+    if (agg != nullptr) {
+      weights = agg->weights();
+      accumulators = agg->accumulators();
+    } else {
+      weights.clear();
+      accumulators.clear();
+    }
+  }
+};
+
+/// A pinned, read-only view of one published version. Copyable; the
+/// snapshot stays alive (and its buffer out of the recycle pool) until
+/// the last handle drops.
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+  explicit SnapshotHandle(std::shared_ptr<const Snapshot> s)
+      : s_(std::move(s)) {}
+
+  explicit operator bool() const { return s_ != nullptr; }
+  const Snapshot& operator*() const { return *s_; }
+  const Snapshot* operator->() const { return s_.get(); }
+  const Snapshot* get() const { return s_.get(); }
+  std::uint64_t version() const { return s_ ? s_->version : 0; }
+
+ private:
+  std::shared_ptr<const Snapshot> s_;
+};
+
+class SnapshotStore {
+ public:
+  /// Current front version pin. Never blocks publication; the handle keeps
+  /// observing its version while successors are published.
+  SnapshotHandle acquire() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return SnapshotHandle(front_);
+  }
+
+  std::uint64_t version() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return front_ ? front_->version : 0;
+  }
+
+  /// A mutable buffer to build the next version into: a retired
+  /// double-buffer slot if no reader still pins it, else a fresh
+  /// allocation (counted, so tests/benches can assert steady-state reuse).
+  std::shared_ptr<Snapshot> begin_build() {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& slot : ring_) {
+      // use_count == 1: only the ring references it — no front_ alias, no
+      // reader handles. Safe to mutate in place.
+      if (slot && slot != building_ && slot.use_count() == 1) {
+        ++buffers_reused_;
+        building_ = slot;
+        return slot;
+      }
+    }
+    ++buffers_allocated_;
+    auto fresh = std::make_shared<Snapshot>();
+    for (auto& slot : ring_) {
+      if (slot == nullptr || (slot != building_ && slot.use_count() == 1)) {
+        slot = fresh;
+        break;
+      }
+    }
+    building_ = fresh;
+    return fresh;
+  }
+
+  /// Publishes `next` as the front version. Readers that already hold a
+  /// handle keep their pinned version; new acquires see `next`.
+  void publish(std::shared_ptr<Snapshot> next) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (building_ == next) building_ = nullptr;
+    front_ = std::shared_ptr<const Snapshot>(std::move(next));
+    ++published_;
+  }
+
+  std::uint64_t published() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return published_;
+  }
+  std::uint64_t buffers_reused() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return buffers_reused_;
+  }
+  std::uint64_t buffers_allocated() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return buffers_allocated_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const Snapshot> front_;
+  // Double buffer: publish() aliases one slot as front_; the other slot
+  // becomes recyclable as soon as the previous front's readers drain.
+  std::shared_ptr<Snapshot> ring_[2];
+  std::shared_ptr<Snapshot> building_;  // handed out, not yet published
+  std::uint64_t published_ = 0;
+  std::uint64_t buffers_reused_ = 0;
+  std::uint64_t buffers_allocated_ = 0;
+};
+
+}  // namespace parct::service

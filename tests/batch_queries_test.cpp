@@ -1,6 +1,10 @@
 // Tests for the batched parallel query APIs.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "contraction/construct.hpp"
 #include "forest/generators.hpp"
 #include "forest/tree_builder.hpp"
@@ -69,6 +73,77 @@ INSTANTIATE_TEST_SUITE_P(Workers, BatchQueries, ::testing::Values(1u, 4u),
                          [](const ::testing::TestParamInfo<unsigned>& info) {
                            return "p" + std::to_string(info.param);
                          });
+
+// Regression coverage for the bounds contract (the entry points used to
+// walk garbage pointer chains on out-of-range ids): every batch query
+// debug-asserts invalid ids and returns the documented sentinel in
+// release builds.
+class BatchQueryBounds : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kPresent = 64;
+
+  void SetUp() override {
+    par::scheduler::initialize(1);  // death tests must stay single-threaded
+    f_ = forest::build_tree(kPresent, 4, 0.5, 3, /*extra_capacity=*/4);
+    c_ = std::make_unique<contract::ContractionForest>(f_.capacity(), 4, 5);
+    path_ = std::make_unique<PathAggregate<long, PathPlus>>(*c_, 0);
+    for (VertexId v = 0; v < kPresent; ++v) {
+      if (!f_.is_root(v)) path_->stage_edge_weight(v, 1);
+    }
+    contract::construct(*c_, f_, path_.get());
+    rcf_ = std::make_unique<RCForest>(*c_);
+    agg_ = std::make_unique<TreeAggregate<long>>(
+        *rcf_, std::vector<long>(f_.capacity(), 1));
+  }
+
+  forest::Forest f_{0};
+  std::unique_ptr<contract::ContractionForest> c_;
+  std::unique_ptr<PathAggregate<long, PathPlus>> path_;
+  std::unique_ptr<RCForest> rcf_;
+  std::unique_ptr<TreeAggregate<long>> agg_;
+};
+
+TEST_F(BatchQueryBounds, InvalidIdsAssertInDebugAndGetSentinelsInRelease) {
+  const VertexId absent = static_cast<VertexId>(kPresent);  // in range
+  const VertexId oob = static_cast<VertexId>(f_.capacity() + 100);
+  for (const VertexId bad : {absent, oob}) {
+    const std::vector<VertexId> qs = {bad};
+    const std::vector<std::pair<VertexId, VertexId>> ps = {{0, bad}};
+#ifdef NDEBUG
+    EXPECT_EQ(batch_roots(*rcf_, qs)[0], kNoVertex);
+    EXPECT_EQ(batch_connected(*rcf_, ps)[0], 0);
+    EXPECT_EQ(batch_tree_weights(*rcf_, *agg_, qs)[0], 0);
+    EXPECT_EQ(batch_paths_to_root(*path_, qs)[0], 0);
+#else
+    EXPECT_DEATH(batch_roots(*rcf_, qs), "out-of-range or absent");
+    EXPECT_DEATH(batch_connected(*rcf_, ps), "out-of-range or absent");
+    EXPECT_DEATH(batch_tree_weights(*rcf_, *agg_, qs),
+                 "out-of-range or absent");
+    EXPECT_DEATH(batch_paths_to_root(*path_, qs), "out-of-range or absent");
+#endif
+  }
+  // Valid ids keep working alongside the checks.
+  const std::vector<VertexId> ok = {0};
+  EXPECT_EQ(batch_roots(*rcf_, ok)[0], forest::root_of(f_, 0));
+}
+
+TEST_F(BatchQueryBounds, MismatchedForestAggregatePairIsDebugAsserted) {
+  // batch_tree_weights used to take (and silently ignore) the forest
+  // argument; it now checks the aggregate is bound to that forest.
+  contract::ContractionForest other(f_.capacity(), 4, 5);
+  contract::construct(other, f_);
+  RCForest other_rcf(other);
+  const std::vector<VertexId> qs = {1};
+#ifdef NDEBUG
+  // Release: no check, but both structures describe the same forest, so
+  // the answer is still defined here.
+  EXPECT_EQ(batch_tree_weights(other_rcf, *agg_, qs)[0],
+            static_cast<long>(kPresent));
+#else
+  EXPECT_DEATH(batch_tree_weights(other_rcf, *agg_, qs),
+               "bound to a different RCForest");
+#endif
+}
 
 }  // namespace
 }  // namespace parct::rc

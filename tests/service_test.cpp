@@ -1,0 +1,262 @@
+// Serving-layer unit tests: snapshot isolation, epoch semantics, version
+// monotonicity, sentinel handling for untrusted ids, update validation,
+// buffer recycling, and the engine-thread round trip.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "contraction/construct.hpp"
+#include "forest/generators.hpp"
+#include "forest/validation.hpp"
+#include "hashing/splitmix64.hpp"
+#include "parallel/scheduler.hpp"
+#include "rc/batch_queries.hpp"
+#include "service/batch_server.hpp"
+
+namespace parct::service {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 1500;
+
+  void SetUp() override {
+    par::scheduler::initialize(4);
+    f_ = forest::random_forest(kN, 6, 4, 0.4, 31);
+    c_ = std::make_unique<contract::ContractionForest>(kN, 4, 3);
+    contract::construct(*c_, f_);
+  }
+  void TearDown() override { par::scheduler::initialize(1); }
+
+  QueryBatch sample_queries(std::uint64_t seed, std::size_t k) const {
+    hashing::SplitMix64 rng(seed);
+    QueryBatch q;
+    for (std::size_t i = 0; i < k; ++i) {
+      q.roots.push_back(static_cast<VertexId>(rng.next_below(kN)));
+      q.connected.push_back({static_cast<VertexId>(rng.next_below(kN)),
+                             static_cast<VertexId>(rng.next_below(kN))});
+      q.tree_weights.push_back(static_cast<VertexId>(rng.next_below(kN)));
+    }
+    return q;
+  }
+
+  void expect_matches(const QueryBatch& q, const QueryResult& r,
+                      const forest::Forest& oracle,
+                      const std::vector<Weight>& w) const {
+    std::vector<Weight> component(oracle.capacity(), 0);
+    for (VertexId v = 0; v < oracle.capacity(); ++v) {
+      if (oracle.present(v)) component[forest::root_of(oracle, v)] += w[v];
+    }
+    for (std::size_t i = 0; i < q.roots.size(); ++i) {
+      ASSERT_EQ(r.roots[i], forest::root_of(oracle, q.roots[i])) << i;
+    }
+    for (std::size_t i = 0; i < q.connected.size(); ++i) {
+      ASSERT_EQ(r.connected[i] != 0,
+                forest::root_of(oracle, q.connected[i].first) ==
+                    forest::root_of(oracle, q.connected[i].second))
+          << i;
+    }
+    for (std::size_t i = 0; i < q.tree_weights.size(); ++i) {
+      ASSERT_EQ(r.tree_weights[i],
+                component[forest::root_of(oracle, q.tree_weights[i])])
+          << i;
+    }
+  }
+
+  forest::Forest f_{0};
+  std::unique_ptr<contract::ContractionForest> c_;
+};
+
+TEST_F(ServiceTest, StepAnswersAgainstVersion0) {
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  QueryBatch q = sample_queries(1, 300);
+  auto fut = server.submit_queries(q);
+  ASSERT_TRUE(server.step());
+  QueryResult r = fut.get();
+  EXPECT_EQ(r.version, 0u);
+  expect_matches(q, r, f_, std::vector<Weight>(kN, 1));
+  EXPECT_FALSE(server.step()) << "empty step must report no work";
+}
+
+TEST_F(ServiceTest, UpdateEpochPinsQueriesToPriorVersion) {
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  const SnapshotHandle pinned0 = server.snapshot();
+
+  QueryBatch q = sample_queries(2, 200);
+  auto qfut = server.submit_queries(q);
+  UpdateRequest u;
+  u.batch = forest::make_delete_batch(f_, 10, 55);
+  auto ufut = server.submit_update(std::move(u));
+  ASSERT_TRUE(server.step());
+
+  // Queries coalesced into the same epoch as the update are answered at
+  // the pinned pre-update version.
+  QueryResult r = qfut.get();
+  EXPECT_EQ(r.version, 0u);
+  expect_matches(q, r, f_, std::vector<Weight>(kN, 1));
+
+  UpdateResult ur = ufut.get();
+  EXPECT_EQ(ur.version, 1u);
+  EXPECT_EQ(server.version(), 1u);
+
+  // Post-update queries see the edited forest...
+  forest::Forest f1 =
+      forest::apply_change_set(f_, forest::make_delete_batch(f_, 10, 55));
+  QueryBatch q1 = sample_queries(3, 200);
+  auto qfut1 = server.submit_queries(q1);
+  ASSERT_TRUE(server.step());
+  QueryResult r1 = qfut1.get();
+  EXPECT_EQ(r1.version, 1u);
+  expect_matches(q1, r1, f1, std::vector<Weight>(kN, 1));
+
+  // ...while the handle pinned before the update still answers version 0.
+  EXPECT_EQ(pinned0.version(), 0u);
+  for (std::size_t i = 0; i < q.roots.size(); ++i) {
+    ASSERT_EQ(pinned0->root(q.roots[i]), forest::root_of(f_, q.roots[i]));
+  }
+}
+
+TEST_F(ServiceTest, UntrustedIdsGetSentinels) {
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  QueryBatch q;
+  q.roots = {static_cast<VertexId>(kN + 1000), 0};
+  q.connected = {{static_cast<VertexId>(kN + 7), 0}};
+  q.tree_weights = {static_cast<VertexId>(kN + 99)};
+  auto fut = server.submit_queries(std::move(q));
+  ASSERT_TRUE(server.step());
+  QueryResult r = fut.get();
+  EXPECT_EQ(r.roots[0], kNoVertex);
+  EXPECT_EQ(r.roots[1], forest::root_of(f_, 0));
+  EXPECT_EQ(r.connected[0], 0);
+  EXPECT_EQ(r.tree_weights[0], 0);
+}
+
+TEST_F(ServiceTest, InvalidUpdateBatchIsRejected) {
+  BatchServer server(*c_);  // validate_updates defaults on
+  UpdateRequest bad;
+  bad.batch.del_vertex(static_cast<VertexId>(kN + 5));  // absent vertex
+  auto fut = server.submit_update(std::move(bad));
+  ASSERT_TRUE(server.step());
+  EXPECT_THROW(fut.get(), std::invalid_argument);
+  EXPECT_EQ(server.version(), 0u) << "rejected batch must not publish";
+  EXPECT_EQ(server.stats().updates_rejected, 1u);
+
+  // The server keeps serving after a rejection.
+  UpdateRequest ok;
+  ok.batch = forest::make_delete_batch(f_, 4, 77);
+  auto fut2 = server.submit_update(std::move(ok));
+  ASSERT_TRUE(server.step());
+  EXPECT_EQ(fut2.get().version, 1u);
+}
+
+TEST_F(ServiceTest, VertexWeightsApplyWithTheirEpoch) {
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  hashing::SplitMix64 rng(9);
+  const VertexId v = static_cast<VertexId>(rng.next_below(kN));
+
+  UpdateRequest u;  // weight-only update: empty structural batch
+  u.vertex_weights.push_back({v, 100});
+  auto ufut = server.submit_update(std::move(u));
+  ASSERT_TRUE(server.step());
+  EXPECT_EQ(ufut.get().version, 1u);
+
+  QueryBatch q;
+  q.tree_weights = {v};
+  auto qfut = server.submit_queries(std::move(q));
+  ASSERT_TRUE(server.step());
+  std::vector<Weight> w(kN, 1);
+  w[v] = 100;
+  Weight want = 0;
+  for (VertexId x = 0; x < kN; ++x) {
+    if (forest::root_of(f_, x) == forest::root_of(f_, v)) want += w[x];
+  }
+  EXPECT_EQ(qfut.get().tree_weights[0], want);
+}
+
+TEST_F(ServiceTest, SnapshotSatisfiesBatchQueryViewConcept) {
+  // The same templated batch entry points that serve the live RCForest
+  // accept a pinned Snapshot.
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  const SnapshotHandle snap = server.snapshot();
+  std::vector<VertexId> qs;
+  for (VertexId v = 0; v < kN; v += 11) qs.push_back(v);
+  std::vector<VertexId> roots = rc::batch_roots(*snap, qs);
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    ASSERT_EQ(roots[i], forest::root_of(f_, qs[i]));
+  }
+}
+
+TEST_F(ServiceTest, SteadyStateRecyclesSnapshotBuffers) {
+  ServiceConfig cfg;
+  cfg.validate_updates = false;
+  BatchServer server(*c_, cfg, std::vector<Weight>(kN, 1));
+  forest::Forest cur = f_;
+  for (int step = 0; step < 6; ++step) {
+    UpdateRequest u;
+    u.batch = forest::make_delete_batch(cur, 2, 200 + step);
+    cur = forest::apply_change_set(cur, u.batch);
+    auto fut = server.submit_update(std::move(u));
+    ASSERT_TRUE(server.step());
+    fut.get();
+  }
+  const ServiceStats s = server.stats();
+  EXPECT_EQ(s.snapshots_published, 7u);  // initial + 6 updates
+  EXPECT_LE(s.snapshot_buffers_allocated, 2u)
+      << "steady state must recycle the double buffer, not allocate";
+  EXPECT_GE(s.snapshot_buffers_reused, 5u);
+}
+
+TEST_F(ServiceTest, EngineThreadServesSubmittersEndToEnd) {
+  for (const bool overlap : {false, true}) {
+    // Fresh structure per run: the previous server's updates mutated it.
+    contract::ContractionForest c(kN, 4, 3);
+    contract::construct(c, f_);
+    ServiceConfig cfg;
+    cfg.overlap_updates = overlap;
+    BatchServer server(c, cfg, std::vector<Weight>(kN, 1));
+    server.start();
+
+    // Interleave query and update submissions; track the forest at every
+    // version so each result can be checked at the version it reports.
+    std::vector<forest::Forest> at_version = {f_};
+    std::vector<std::pair<QueryBatch, std::future<QueryResult>>> qfuts;
+    std::vector<std::future<UpdateResult>> ufuts;
+    for (int i = 0; i < 12; ++i) {
+      QueryBatch q = sample_queries(400 + i, 120);
+      qfuts.emplace_back(q, server.submit_queries(q));
+      if (i % 3 == 1) {
+        UpdateRequest u;
+        u.batch = forest::make_delete_batch(at_version.back(), 5, 600 + i);
+        at_version.push_back(
+            forest::apply_change_set(at_version.back(), u.batch));
+        ufuts.push_back(server.submit_update(std::move(u)));
+      }
+    }
+    server.stop();  // drains everything admitted above
+
+    std::uint64_t expect_version = 1;
+    for (auto& uf : ufuts) {
+      EXPECT_EQ(uf.get().version, expect_version++) << "overlap=" << overlap;
+    }
+    const std::vector<Weight> w(kN, 1);
+    for (auto& [q, fut] : qfuts) {
+      QueryResult r = fut.get();
+      ASSERT_LT(r.version, at_version.size());
+      expect_matches(q, r, at_version[r.version], w);
+    }
+    EXPECT_THROW(server.submit_queries(QueryBatch{}), std::runtime_error)
+        << "submit after stop() must fail fast";
+
+    const ServiceStats s = server.stats();
+    EXPECT_EQ(s.updates_applied, ufuts.size());
+    EXPECT_EQ(s.queries_served, 12u * 3u * 120u);
+  }
+}
+
+}  // namespace
+}  // namespace parct::service

@@ -22,6 +22,12 @@ Rules (see docs/STATIC_ANALYSIS.md):
                   scratch must come from the Workspace / the *_into
                   primitives so steady-state rounds stay allocation-free
                   (docs/PERFORMANCE.md).
+  snapshot-bypass reads of the live structures (c_, rcf_, agg_, updater_,
+                  mirror_) inside the query-answering path of src/service/
+                  (BatchServer::answer) — queries must only read the pinned
+                  immutable Snapshot; a live read would race the update
+                  thread that may be propagating the successor version
+                  concurrently (docs/OBSERVABILITY.md "Serving epochs").
 
 Suppression: a line (or the line above it) containing
 `// parct-lint: allow(<rule>)` suppresses that rule for that line; the
@@ -96,6 +102,15 @@ HOT_PHASE_FN = re.compile(
     r"\b(DynamicUpdater::(apply|propagate)|randomized_contract)\s*\("
 )
 
+# The serving layer's query-answering path: everything reachable from
+# BatchServer::answer runs concurrently with an overlapped apply() on the
+# live structure, so it may only read the pinned Snapshot.
+QUERY_PATH_FN = re.compile(r"\b(BatchServer::)?answer\s*\(")
+
+# Live (mutable, update-owned) members of the serving layer. `snap`/pinned
+# snapshot reads are the sanctioned alternative.
+LIVE_STRUCTURE = re.compile(r"\b(c_|rcf_|agg_|updater_|mirror_|store_)\s*\.")
+
 
 def allowed(rule: str, lines: list[str], idx: int) -> bool:
     """True if line idx or the line above carries an allow marker for rule."""
@@ -120,6 +135,7 @@ def lint_file(path: Path, findings: list[str]) -> None:
         return
     in_parallel_for = rel in INSTRUMENTED
     in_contraction = rel.startswith("src/contraction/")
+    in_service = rel.startswith("src/service/")
     track_lambdas = in_parallel_for or in_contraction
     depth_stack: list[int] = []  # brace depth at each open parallel_for
     depth = 0
@@ -127,6 +143,8 @@ def lint_file(path: Path, findings: list[str]) -> None:
     prev_code = ""  # last non-blank code line, for continuation detection
     hot_depth: int | None = None  # brace depth of a hot phase fn signature
     hot_entered = False  # inside its body (depth went above hot_depth)
+    query_depth: int | None = None  # brace depth of a query-path signature
+    query_entered = False
 
     for idx, raw in enumerate(lines):
         line = strip_strings(raw)
@@ -207,6 +225,21 @@ def lint_file(path: Path, findings: list[str]) -> None:
                         "PARCT_SHADOW_WRITE within 4 lines"
                     )
 
+        # snapshot-bypass: live-structure reads inside the serving query
+        # path (which runs concurrently with an overlapped apply()).
+        if (
+            in_service
+            and query_depth is not None
+            and query_entered
+            and LIVE_STRUCTURE.search(code)
+        ):
+            if not allowed("snapshot-bypass", lines, idx):
+                findings.append(
+                    f"{loc}: snapshot-bypass: query path reads the live "
+                    "structure — answer queries from the pinned Snapshot "
+                    "only (it may be mutated by the overlapped update)"
+                )
+
         # Track hot-phase function extents (definitions only: call sites
         # end their statement with ';').
         if (
@@ -217,6 +250,16 @@ def lint_file(path: Path, findings: list[str]) -> None:
         ):
             hot_depth = depth
             hot_entered = False
+
+        # Track the serving query-path extents the same way.
+        if (
+            in_service
+            and query_depth is None
+            and QUERY_PATH_FN.search(code)
+            and ";" not in code
+        ):
+            query_depth = depth
+            query_entered = False
 
         # Track parallel_for lambda extents by brace depth.
         if track_lambdas and re.search(
@@ -245,6 +288,12 @@ def lint_file(path: Path, findings: list[str]) -> None:
             elif hot_entered and depth <= hot_depth:
                 hot_depth = None
                 hot_entered = False
+        if query_depth is not None:
+            if depth > query_depth:
+                query_entered = True
+            elif query_entered and depth <= query_depth:
+                query_depth = None
+                query_entered = False
         if code.strip():
             prev_code = code
 
@@ -337,6 +386,43 @@ def self_test() -> int:
             "void driver(DynamicUpdater& u, const forest::ChangeSet& m) {\n"
             "  u.apply(m);\n"
             "  std::vector<int> fine;\n"
+            "}\n",
+            None,
+        ),
+        (
+            # Query path reading the live RCForest instead of the snapshot.
+            "src/service/foo.cpp",
+            "QueryResult BatchServer::answer(const QueryBatch& q,\n"
+            "                                const Snapshot& snap) const {\n"
+            "  out[i] = rcf_.root(q.roots[i]);\n"
+            "}\n",
+            "snapshot-bypass",
+        ),
+        (
+            # Reading the pinned snapshot is the sanctioned path.
+            "src/service/foo.cpp",
+            "QueryResult BatchServer::answer(const QueryBatch& q,\n"
+            "                                const Snapshot& snap) const {\n"
+            "  out[i] = snap.root(q.roots[i]);\n"
+            "}\n",
+            None,
+        ),
+        (
+            # Live-structure access outside the query path (the update/
+            # publish side) is the point of those members — no finding.
+            "src/service/foo.cpp",
+            "bool BatchServer::process_epoch() {\n"
+            "  rcf_.refresh(touched);\n"
+            "  agg_.apply_update();\n"
+            "}\n",
+            None,
+        ),
+        (
+            "src/service/foo.cpp",
+            "QueryResult BatchServer::answer(const QueryBatch& q,\n"
+            "                                const Snapshot& snap) const {\n"
+            "  // parct-lint: allow(snapshot-bypass) reason: test fixture\n"
+            "  out[i] = rcf_.root(q.roots[i]);\n"
             "}\n",
             None,
         ),
