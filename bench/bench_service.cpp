@@ -123,6 +123,11 @@ double run_config(contract::ContractionForest& c, const forest::Forest& f,
       .num("update_s_total", s.update_seconds)
       .num("publish_s_total", s.publish_seconds)
       .num("backpressure_waits", s.backpressure_waits)
+      .num("queries_shed", s.queries_shed)
+      .num("epoch_retries", s.epoch_retries)
+      .num("deadline_rejections", s.deadline_rejections)
+      .num("degraded_epochs", s.degraded_epochs)
+      .num("admission_drops", s.admission_drops)
       .num("max_query_queue_depth", s.max_query_queue_depth)
       .num("max_update_queue_depth", s.max_update_queue_depth)
       .num("snapshot_buffers_reused", s.snapshot_buffers_reused)

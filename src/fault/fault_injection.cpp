@@ -1,0 +1,211 @@
+#include "fault/fault_injection.hpp"
+
+#include <charconv>
+
+#if PARCT_FAULT_INJECT
+#include <chrono>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace parct::fault {
+
+namespace {
+
+constexpr const char* kSiteNames[kNumSites] = {
+    "workspace-acquire", "scheduler-steal", "serial-handoff", "epoch-apply",
+    "queue-admission",
+};
+
+constexpr const char* kModeNames[] = {"off", "once", "periodic", "burst"};
+
+std::uint64_t parse_u64(std::string_view s, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error(std::string("parct: fault plan spec: bad ") +
+                             what + " '" + std::string(s) + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* site_name(Site s) {
+  return kSiteNames[static_cast<unsigned>(s)];
+}
+
+std::optional<Site> parse_site(std::string_view name) {
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    if (name == kSiteNames[i]) return static_cast<Site>(i);
+  }
+  return std::nullopt;
+}
+
+std::string format_plan(const Plan& plan) {
+  std::string out = "seed=" + std::to_string(plan.seed);
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    const SiteSchedule& sch = plan.sites[i];
+    if (sch.mode == Mode::kOff) continue;
+    out += ';';
+    out += kSiteNames[i];
+    out += ':';
+    out += kModeNames[static_cast<unsigned>(sch.mode)];
+    out += '@';
+    out += std::to_string(sch.at);
+    if (sch.mode == Mode::kPeriodic) {
+      out += '/';
+      out += std::to_string(sch.every);
+    } else if (sch.mode == Mode::kBurst) {
+      out += 'x';
+      out += std::to_string(sch.len);
+    }
+  }
+  return out;
+}
+
+Plan parse_plan(std::string_view spec) {
+  Plan plan;
+  bool saw_seed = false;
+  while (!spec.empty()) {
+    const std::size_t semi = spec.find(';');
+    std::string_view tok = spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (tok.empty()) continue;
+    if (tok.substr(0, 5) == "seed=") {
+      plan.seed = parse_u64(tok.substr(5), "seed");
+      saw_seed = true;
+      continue;
+    }
+    const std::size_t colon = tok.find(':');
+    const std::size_t atpos = tok.find('@');
+    if (colon == std::string_view::npos || atpos == std::string_view::npos ||
+        atpos < colon) {
+      throw std::runtime_error(
+          "parct: fault plan spec: expected <site>:<mode>@<at>, got '" +
+          std::string(tok) + "'");
+    }
+    const std::optional<Site> site = parse_site(tok.substr(0, colon));
+    if (!site) {
+      throw std::runtime_error("parct: fault plan spec: unknown site '" +
+                               std::string(tok.substr(0, colon)) + "'");
+    }
+    const std::string_view mode = tok.substr(colon + 1, atpos - colon - 1);
+    std::string_view rest = tok.substr(atpos + 1);
+    SiteSchedule sch;
+    if (mode == "once") {
+      sch.mode = Mode::kOnce;
+      sch.at = parse_u64(rest, "hit index");
+    } else if (mode == "periodic") {
+      const std::size_t slash = rest.find('/');
+      if (slash == std::string_view::npos) {
+        throw std::runtime_error(
+            "parct: fault plan spec: periodic needs @<at>/<every>");
+      }
+      sch.mode = Mode::kPeriodic;
+      sch.at = parse_u64(rest.substr(0, slash), "hit index");
+      sch.every = parse_u64(rest.substr(slash + 1), "period");
+      if (sch.every == 0) {
+        throw std::runtime_error("parct: fault plan spec: period must be > 0");
+      }
+    } else if (mode == "burst") {
+      const std::size_t xpos = rest.find('x');
+      if (xpos == std::string_view::npos) {
+        throw std::runtime_error(
+            "parct: fault plan spec: burst needs @<at>x<len>");
+      }
+      sch.mode = Mode::kBurst;
+      sch.at = parse_u64(rest.substr(0, xpos), "hit index");
+      sch.len = parse_u64(rest.substr(xpos + 1), "burst length");
+    } else {
+      throw std::runtime_error("parct: fault plan spec: unknown mode '" +
+                               std::string(mode) + "'");
+    }
+    plan[*site] = sch;
+  }
+  if (!saw_seed) {
+    throw std::runtime_error("parct: fault plan spec: missing seed=<n>");
+  }
+  return plan;
+}
+
+#if PARCT_FAULT_INJECT
+
+namespace {
+
+// All registry state behind one mutex: sites are not performance-relevant
+// in a fault build (they exist to be perturbed), and a single lock keeps
+// arm/disarm racing an active site well-defined under TSAN — the chaos CI
+// job runs this build with sanitizers on.
+struct Registry {
+  std::mutex mu;
+  bool armed = false;
+  Plan plan;
+  std::uint64_t hits[kNumSites] = {};
+  std::uint64_t fired[kNumSites] = {};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+void arm(const Plan& plan) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.armed = true;
+  r.plan = plan;
+  for (unsigned i = 0; i < kNumSites; ++i) r.hits[i] = r.fired[i] = 0;
+}
+
+void disarm() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  r.armed = false;
+}
+
+bool armed() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.armed;
+}
+
+std::uint64_t hits(Site s) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.hits[static_cast<unsigned>(s)];
+}
+
+std::uint64_t fired(Site s) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  return r.fired[static_cast<unsigned>(s)];
+}
+
+namespace detail {
+
+bool should_fire(Site s) noexcept {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lk(r.mu);
+  if (!r.armed) return false;
+  const unsigned i = static_cast<unsigned>(s);
+  const std::uint64_t hit = r.hits[i]++;
+  const bool fire = r.plan.sites[i].fires(hit);
+  if (fire) ++r.fired[i];
+  return fire;
+}
+
+void stall(Site s) noexcept {
+  if (should_fire(s)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(kStallMicros));
+  }
+}
+
+}  // namespace detail
+
+#endif  // PARCT_FAULT_INJECT
+
+}  // namespace parct::fault

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "fault/fault_injection.hpp"
 #include "hashing/splitmix64.hpp"
 #include "parallel/chase_lev_deque.hpp"
 #include "primitives/workspace.hpp"
@@ -89,6 +90,10 @@ std::uint64_t next_random(std::uint64_t& s) {
 // Attempts one steal sweep over all other workers in random order.
 // Returns the stolen task or nullptr.
 Task* try_steal(Pool& pool, unsigned self) {
+  // Fault site: a slow/descheduled thief. Stalling here delays work
+  // redistribution without changing what gets executed — the degradation
+  // the serving layer's unhealthy-pool fallback is built for.
+  PARCT_FAULT_STALL(fault::Site::kSchedulerSteal);
   const unsigned n = pool.size();
   if (n <= 1) return nullptr;
   std::uint64_t& rng = pool.workers[self]->rng_state;
@@ -283,7 +288,12 @@ bool in_parallel_region() { return tl_in_task || tl_region_depth > 0; }
 
 bool serial_forced() { return tl_serial_depth > 0; }
 
-SerialScope::SerialScope() { ++tl_serial_depth; }
+SerialScope::SerialScope() {
+  // Fault site: a delayed handoff to the pool-free serial path (e.g. the
+  // serving layer's overlapped update thread starting late).
+  PARCT_FAULT_STALL(fault::Site::kSerialHandoff);
+  ++tl_serial_depth;
+}
 SerialScope::~SerialScope() { --tl_serial_depth; }
 
 Workspace& worker_workspace() {

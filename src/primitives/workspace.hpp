@@ -27,10 +27,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <type_traits>
 #include <vector>
 
 #include "analysis/sp_bags.hpp"
+#include "fault/fault_injection.hpp"
 
 namespace parct {
 
@@ -108,6 +110,12 @@ class Workspace {
   Lease<T> acquire(std::size_t n) {
     static_assert(std::is_trivially_destructible_v<T>,
                   "Workspace blocks are raw storage");
+    // Fault site: a lease request behaves like an allocator under memory
+    // pressure. Thrown before any counter or pool state moves, so a caller
+    // that catches and retries sees a consistent arena.
+    if (PARCT_FAULT_POINT(fault::Site::kWorkspaceAcquire)) {
+      throw std::bad_alloc{};
+    }
     const std::size_t bytes = size_class_bytes(n * sizeof(T));
     const unsigned cls = size_class(bytes);
     ++stats_.acquires;

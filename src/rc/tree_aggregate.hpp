@@ -16,6 +16,10 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 #include "primitives/counting.hpp"
@@ -212,5 +216,74 @@ class TreeAggregate {
   std::uint64_t region_epoch_ = 0;
   bool prepared_ = false;
 };
+
+// --- (de)serialization --------------------------------------------------
+//
+// Only the weight table is stored: the accumulators are a pure function of
+// (weights, structure), so load_aggregate rebuilds them against the forest
+// it is bound to. This pairs with contraction::save/load — persist the
+// structure, persist its bound aggregate, and a reloaded (structure,
+// aggregate) pair serves queries and dynamic updates exactly like the
+// original (tests/serialize_test.cpp round-trips this end to end).
+
+namespace detail {
+inline constexpr std::uint64_t kAggregateMagic =
+    0x50415243'54414731ull;  // "PARCTAG1"
+inline constexpr std::uint32_t kAggregateVersion = 1;
+}  // namespace detail
+
+/// Writes `agg`'s weight table to `out` (little-endian hosts). T must be
+/// trivially copyable — raw-byte image, like contraction::save.
+template <typename T>
+void save_aggregate(const TreeAggregate<T>& agg, std::ostream& out) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "save_aggregate stores raw weight bytes");
+  auto put = [&out](const auto& value) {
+    out.write(reinterpret_cast<const char*>(&value), sizeof value);
+  };
+  put(detail::kAggregateMagic);
+  put(detail::kAggregateVersion);
+  put(static_cast<std::uint32_t>(sizeof(T)));
+  const std::vector<T>& w = agg.weights();
+  put(static_cast<std::uint64_t>(w.size()));
+  for (const T& x : w) put(x);
+}
+
+/// Reads a weight table written by save_aggregate and binds it to `rc`,
+/// rebuilding the accumulators. Throws std::runtime_error on a malformed
+/// stream or a capacity/type mismatch with `rc`.
+template <typename T>
+TreeAggregate<T> load_aggregate(const RCForest& rc, std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "load_aggregate reads raw weight bytes");
+  auto get = [&in](auto& value) {
+    in.read(reinterpret_cast<char*>(&value), sizeof value);
+    if (!in) throw std::runtime_error("parct::load_aggregate: truncated");
+  };
+  std::uint64_t magic = 0;
+  get(magic);
+  if (magic != detail::kAggregateMagic) {
+    throw std::runtime_error("parct::load_aggregate: bad magic");
+  }
+  std::uint32_t version = 0;
+  get(version);
+  if (version != detail::kAggregateVersion) {
+    throw std::runtime_error("parct::load_aggregate: unsupported version");
+  }
+  std::uint32_t elem = 0;
+  get(elem);
+  if (elem != sizeof(T)) {
+    throw std::runtime_error("parct::load_aggregate: weight type mismatch");
+  }
+  std::uint64_t n = 0;
+  get(n);
+  if (n != rc.structure().capacity()) {
+    throw std::runtime_error(
+        "parct::load_aggregate: capacity does not match the bound forest");
+  }
+  std::vector<T> w(n);
+  for (T& x : w) get(x);
+  return TreeAggregate<T>(rc, std::move(w));
+}
 
 }  // namespace parct::rc

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "contraction/telemetry.hpp"
+#include "fault/fault_injection.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/scheduler.hpp"
 
@@ -32,27 +33,71 @@ void BatchServer::publish_version(std::uint64_t version) {
 }
 
 std::future<QueryResult> BatchServer::submit_queries(QueryBatch q) {
+  return enqueue_queries(std::move(q), std::nullopt);
+}
+
+std::future<QueryResult> BatchServer::submit_queries_for(
+    QueryBatch q, std::chrono::steady_clock::duration timeout) {
+  return enqueue_queries(std::move(q),
+                         std::chrono::steady_clock::now() + timeout);
+}
+
+std::future<UpdateResult> BatchServer::submit_update(UpdateRequest u) {
+  return enqueue_update(std::move(u), std::nullopt);
+}
+
+std::future<UpdateResult> BatchServer::submit_update_for(
+    UpdateRequest u, std::chrono::steady_clock::duration timeout) {
+  return enqueue_update(std::move(u),
+                        std::chrono::steady_clock::now() + timeout);
+}
+
+std::future<QueryResult> BatchServer::enqueue_queries(QueryBatch q,
+                                                      Deadline deadline) {
   std::promise<QueryResult> p;
   std::future<QueryResult> fut = p.get_future();
   {
     std::unique_lock<std::mutex> lk(mu_);
     if (stopping_) {
-      throw std::runtime_error("BatchServer: submit_queries after stop()");
+      throw ServerStopped("BatchServer: submit_queries after stop()");
     }
     if (query_queue_.size() >= cfg_.max_pending_query_batches) {
       {
         std::lock_guard<std::mutex> slk(stats_mu_);
         ++stats_.backpressure_waits;
       }
-      cv_space_.wait(lk, [&] {
+      auto space = [&] {
         return stopping_ ||
                query_queue_.size() < cfg_.max_pending_query_batches;
-      });
+      };
+      if (deadline) {
+        if (!cv_space_.wait_until(lk, *deadline, space)) {
+          std::lock_guard<std::mutex> slk(stats_mu_);
+          ++stats_.deadline_rejections;
+          p.set_exception(std::make_exception_ptr(DeadlineExceeded(
+              "BatchServer: admission deadline expired (query queue full)")));
+          return fut;
+        }
+      } else {
+        cv_space_.wait(lk, space);
+      }
       if (stopping_) {
-        throw std::runtime_error("BatchServer: submit_queries after stop()");
+        p.set_exception(std::make_exception_ptr(ServerStopped(
+            "BatchServer: stopped while the batch awaited admission")));
+        return fut;
       }
     }
-    query_queue_.push_back(PendingQuery{std::move(q), std::move(p)});
+    // Fault site: admission-control drop. The future rejects cleanly; the
+    // request never enters the queue.
+    if (PARCT_FAULT_POINT(fault::Site::kQueueAdmission)) {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++stats_.admission_drops;
+      p.set_exception(std::make_exception_ptr(AdmissionDropped(
+          "BatchServer: query batch dropped at queue admission")));
+      return fut;
+    }
+    query_queue_.push_back(
+        PendingQuery{std::move(q), std::move(p), deadline});
     std::lock_guard<std::mutex> slk(stats_mu_);
     stats_.max_query_queue_depth = std::max<std::uint64_t>(
         stats_.max_query_queue_depth, query_queue_.size());
@@ -61,27 +106,49 @@ std::future<QueryResult> BatchServer::submit_queries(QueryBatch q) {
   return fut;
 }
 
-std::future<UpdateResult> BatchServer::submit_update(UpdateRequest u) {
+std::future<UpdateResult> BatchServer::enqueue_update(UpdateRequest u,
+                                                      Deadline deadline) {
   std::promise<UpdateResult> p;
   std::future<UpdateResult> fut = p.get_future();
   {
     std::unique_lock<std::mutex> lk(mu_);
     if (stopping_) {
-      throw std::runtime_error("BatchServer: submit_update after stop()");
+      throw ServerStopped("BatchServer: submit_update after stop()");
     }
     if (update_queue_.size() >= cfg_.max_pending_updates) {
       {
         std::lock_guard<std::mutex> slk(stats_mu_);
         ++stats_.backpressure_waits;
       }
-      cv_space_.wait(lk, [&] {
+      auto space = [&] {
         return stopping_ || update_queue_.size() < cfg_.max_pending_updates;
-      });
+      };
+      if (deadline) {
+        if (!cv_space_.wait_until(lk, *deadline, space)) {
+          std::lock_guard<std::mutex> slk(stats_mu_);
+          ++stats_.deadline_rejections;
+          p.set_exception(std::make_exception_ptr(DeadlineExceeded(
+              "BatchServer: admission deadline expired (update queue full)")));
+          return fut;
+        }
+      } else {
+        cv_space_.wait(lk, space);
+      }
       if (stopping_) {
-        throw std::runtime_error("BatchServer: submit_update after stop()");
+        p.set_exception(std::make_exception_ptr(ServerStopped(
+            "BatchServer: stopped while the update awaited admission")));
+        return fut;
       }
     }
-    update_queue_.push_back(PendingUpdate{std::move(u), std::move(p)});
+    if (PARCT_FAULT_POINT(fault::Site::kQueueAdmission)) {
+      std::lock_guard<std::mutex> slk(stats_mu_);
+      ++stats_.admission_drops;
+      p.set_exception(std::make_exception_ptr(AdmissionDropped(
+          "BatchServer: update dropped at queue admission")));
+      return fut;
+    }
+    update_queue_.push_back(
+        PendingUpdate{std::move(u), std::move(p), deadline});
     std::lock_guard<std::mutex> slk(stats_mu_);
     stats_.max_update_queue_depth = std::max<std::uint64_t>(
         stats_.max_update_queue_depth, update_queue_.size());
@@ -108,9 +175,30 @@ void BatchServer::stop() {
     std::lock_guard<std::mutex> lk(mu_);
     stopping_ = true;
   }
+  // Wake the engine (to drain and exit) and every submitter parked on a
+  // full admission queue (their futures reject with ServerStopped).
   cv_work_.notify_all();
   cv_space_.notify_all();
   if (engine_.joinable()) engine_.join();
+  // A started engine drained both queues before exiting; in step() mode
+  // (no engine) admitted requests may still be queued. Reject them with a
+  // documented error instead of letting their promises break on
+  // destruction.
+  std::deque<PendingQuery> qs;
+  std::deque<PendingUpdate> us;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    qs.swap(query_queue_);
+    us.swap(update_queue_);
+  }
+  for (PendingQuery& pq : qs) {
+    pq.promise.set_exception(std::make_exception_ptr(
+        ServerStopped("BatchServer: stopped before the batch was served")));
+  }
+  for (PendingUpdate& pu : us) {
+    pu.promise.set_exception(std::make_exception_ptr(
+        ServerStopped("BatchServer: stopped before the update was applied")));
+  }
 }
 
 void BatchServer::engine_loop() {
@@ -198,7 +286,57 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
                                 bool allow_overlap) {
   if (queries.empty() && !update) return false;
   const auto t_epoch = contract::stats_now();
+
+  // Degraded serial fallback: while the pool is marked unhealthy the whole
+  // epoch runs under a SerialScope on this thread — queries answer
+  // sequentially, the update runs inline, and the work-stealing pool is
+  // never touched.
+  const bool degraded = !pool_healthy_.load(std::memory_order_relaxed);
+  std::optional<par::scheduler::SerialScope> serial;
+  if (degraded) serial.emplace();
+
   const SnapshotHandle pinned = store_.acquire();
+  const auto now = std::chrono::steady_clock::now();
+
+  // Overload shedding: reject the oldest (stalest) query batches beyond
+  // the high-water mark before doing any work for them.
+  std::uint64_t shed_items = 0;
+  if (cfg_.query_shed_high_water != 0 &&
+      queries.size() > cfg_.query_shed_high_water) {
+    const std::size_t drop = queries.size() - cfg_.query_shed_high_water;
+    for (std::size_t i = 0; i < drop; ++i) {
+      shed_items += queries[i].batch.size();
+      queries[i].promise.set_exception(std::make_exception_ptr(QueryShed(
+          "BatchServer: stale query batch shed under overload")));
+    }
+    queries.erase(queries.begin(),
+                  queries.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+
+  // Deadline expiry: a request that out-waited its deadline in the queue
+  // is rejected, not served stale.
+  std::uint64_t deadline_rejected = 0;
+  {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i].deadline && *queries[i].deadline < now) {
+        ++deadline_rejected;
+        queries[i].promise.set_exception(std::make_exception_ptr(
+            DeadlineExceeded("BatchServer: query deadline expired before "
+                             "its epoch started")));
+      } else {
+        if (keep != i) queries[keep] = std::move(queries[i]);
+        ++keep;
+      }
+    }
+    queries.resize(keep);
+  }
+  if (update && update->deadline && *update->deadline < now) {
+    ++deadline_rejected;
+    update->promise.set_exception(std::make_exception_ptr(DeadlineExceeded(
+        "BatchServer: update deadline expired before its epoch started")));
+    update.reset();
+  }
 
   // Admission control for the update: reject invalid batches (and any
   // batch after a failed apply) before touching the structure.
@@ -224,40 +362,72 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
   contract::UpdateStats ustats;
   contract::TouchedRecorder touched;
   std::exception_ptr update_error;
+  bool abort_exhausted = false;  // injected abort survived all retries
+  std::uint64_t retries = 0;
   double update_secs = 0;
   auto run_update = [&] {
     const auto t0 = contract::stats_now();
-    try {
-      ustats = updater_.apply(update->request.batch, &touched);
-    } catch (...) {
-      update_error = std::current_exception();
+    for (unsigned attempt = 0;; ++attempt) {
+      try {
+        // Fault site: abort at the apply boundary. An InjectedFault is
+        // raised before DynamicUpdater::apply mutates anything, so the
+        // live structure still equals the published version and the batch
+        // can simply be re-applied — epochs are idempotent up to publish.
+        if (PARCT_FAULT_POINT(fault::Site::kEpochApply)) {
+          throw fault::InjectedFault(fault::Site::kEpochApply);
+        }
+        ustats = updater_.apply(update->request.batch, &touched);
+        update_error = nullptr;
+        break;
+      } catch (const fault::InjectedFault&) {
+        update_error = std::current_exception();
+        if (attempt >= cfg_.max_epoch_retries) {
+          abort_exhausted = true;
+          break;
+        }
+        ++retries;
+        std::this_thread::sleep_for(cfg_.retry_backoff *
+                                    (1u << std::min(attempt, 10u)));
+      } catch (...) {
+        update_error = std::current_exception();
+        break;
+      }
     }
     update_secs = contract::stats_since(t0);
   };
 
   std::uint64_t queries_answered = 0;
+  auto answer_all = [&] {
+    for (PendingQuery& pq : queries) {
+      try {
+        QueryResult qr = answer(pq.batch, *pinned);
+        queries_answered += pq.batch.size();
+        pq.promise.set_value(std::move(qr));
+      } catch (...) {
+        // A failed fan-out (e.g. an injected allocation failure surfacing
+        // through a parallel task) rejects this batch only; the epoch and
+        // the remaining batches proceed.
+        pq.promise.set_exception(std::current_exception());
+      }
+    }
+  };
+
   const auto t_q = contract::stats_now();
   bool overlapped = false;
-  if (update && allow_overlap && !queries.empty()) {
+  if (update && allow_overlap && !degraded && !queries.empty()) {
     overlapped = true;
     // The pipelining overlap itself: the update propagates toward version
     // v+1 under a SerialScope (off the pool) while this thread fans the
     // epoch's queries out on the pool against the pinned version-v snapshot.
     // parct-lint: allow(raw-thread) reason: epoch overlap thread
     std::thread ut([&] {
-      par::scheduler::SerialScope serial;
+      par::scheduler::SerialScope serial_update;
       run_update();
     });
-    for (PendingQuery& pq : queries) {
-      queries_answered += pq.batch.size();
-      pq.promise.set_value(answer(pq.batch, *pinned));
-    }
+    answer_all();
     ut.join();
   } else {
-    for (PendingQuery& pq : queries) {
-      queries_answered += pq.batch.size();
-      pq.promise.set_value(answer(pq.batch, *pinned));
-    }
+    answer_all();
     if (update) run_update();  // full pool available, no overlap thread
   }
   const double query_secs = contract::stats_since(t_q);
@@ -266,8 +436,19 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
   bool applied = false;
   if (update) {
     if (update_error) {
-      failed_ = true;
-      update->promise.set_exception(update_error);
+      if (abort_exhausted) {
+        // Clean rejection: every attempt aborted at the boundary, the
+        // structure is untouched, and the server stays healthy for
+        // subsequent updates.
+        update->promise.set_exception(std::make_exception_ptr(EpochAborted(
+            "BatchServer: update epoch aborted at the apply boundary "
+            "after " +
+            std::to_string(cfg_.max_epoch_retries) + " retr" +
+            (cfg_.max_epoch_retries == 1 ? "y" : "ies"))));
+      } else {
+        failed_ = true;
+        update->promise.set_exception(update_error);
+      }
     } else {
       const auto t_p = contract::stats_now();
       // Repair the derived layers over the affected region: the touched
@@ -290,7 +471,8 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
       publish_version(version_);
       publish_secs = contract::stats_since(t_p);
       // Fulfilled only after publication: a waiter that then calls
-      // snapshot() observes its own write.
+      // snapshot() observes its own write — including after a retried
+      // epoch (read-your-writes holds across retries).
       update->promise.set_value(UpdateResult{version_, ustats});
       applied = true;
     }
@@ -301,9 +483,13 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
     std::lock_guard<std::mutex> slk(stats_mu_);
     ++stats_.epochs;
     if (overlapped) ++stats_.overlapped_epochs;
+    if (degraded) ++stats_.degraded_epochs;
     stats_.query_batches += queries.size();
     stats_.queries_served += queries_answered;
     stats_.updates_rejected += rejected;
+    stats_.queries_shed += shed_items;
+    stats_.deadline_rejections += deadline_rejected;
+    stats_.epoch_retries += retries;
     if (applied) {
       ++stats_.updates_applied;
       stats_.update_ops += update_ops;

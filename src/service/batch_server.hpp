@@ -32,11 +32,15 @@
 // SerialScope and never touches the pool.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -51,6 +55,45 @@
 #include "service/snapshot.hpp"
 
 namespace parct::service {
+
+// --- failure semantics ------------------------------------------------
+//
+// Every admitted request's future resolves — with a value, or with one of
+// the error types below. The server never wedges a future: stop() rejects
+// everything still parked or queued, deadlines reject late requests, the
+// shedder rejects stale ones, and an aborted update epoch either retries
+// to success or rejects its batch. All errors derive from ServiceError
+// (itself a std::runtime_error), so callers can catch coarsely or
+// per-cause.
+
+/// Base class of every rejection the serving layer reports.
+struct ServiceError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+/// The server stopped before (or while) the request could be served.
+struct ServerStopped : ServiceError {
+  using ServiceError::ServiceError;
+};
+/// A submit_*_for deadline expired — either awaiting admission on a full
+/// queue, or in the queue before the request's epoch started.
+struct DeadlineExceeded : ServiceError {
+  using ServiceError::ServiceError;
+};
+/// A stale query batch was shed under overload (queue depth crossed
+/// ServiceConfig::query_shed_high_water at epoch admission).
+struct QueryShed : ServiceError {
+  using ServiceError::ServiceError;
+};
+/// The request was dropped at queue admission (fault-injection site
+/// `queue-admission`; models an admission-control drop).
+struct AdmissionDropped : ServiceError {
+  using ServiceError::ServiceError;
+};
+/// An update epoch aborted at the apply boundary and exhausted its
+/// retries; the batch was NOT applied and the structure is unchanged.
+struct EpochAborted : ServiceError {
+  using ServiceError::ServiceError;
+};
 
 struct ServiceConfig {
   /// Bounded admission queues; submit_* blocks (backpressure) while full.
@@ -72,6 +115,20 @@ struct ServiceConfig {
 
   /// Cap on the per-epoch telemetry log (PARCT_STATS builds).
   std::size_t max_epoch_log = 4096;
+
+  /// Re-attempts of an update epoch whose apply aborted at the boundary
+  /// (fault::InjectedFault — raised before any mutation, so re-applying
+  /// the batch against the still-published version is sound). 0 disables
+  /// retry; retries beyond the cap reject the batch with EpochAborted.
+  unsigned max_epoch_retries = 2;
+  /// Backoff before retry k is retry_backoff << (k-1). Kept small so
+  /// stepped tests stay fast; a real deployment would raise it.
+  std::chrono::microseconds retry_backoff{200};
+  /// Load shedding: when more query batches than this are pending at
+  /// epoch admission, the *oldest* batches beyond the mark are rejected
+  /// with QueryShed (they have waited longest and are the most stale).
+  /// 0 disables shedding.
+  std::size_t query_shed_high_water = 0;
 };
 
 /// One batch of independent read-only queries, answered together against
@@ -140,6 +197,13 @@ struct ServiceStats {
   std::uint64_t max_update_queue_depth = 0;
   std::uint64_t dropped_epoch_records = 0;
 
+  // Graceful-degradation counters (docs/OBSERVABILITY.md §3a).
+  std::uint64_t queries_shed = 0;        ///< query items shed under overload
+  std::uint64_t epoch_retries = 0;       ///< re-attempts of aborted epochs
+  std::uint64_t deadline_rejections = 0; ///< requests rejected past deadline
+  std::uint64_t degraded_epochs = 0;     ///< epochs run in serial fallback
+  std::uint64_t admission_drops = 0;     ///< fault-injected admission drops
+
   // Wall-clock accumulations (0 unless built with PARCT_STATS).
   double epoch_seconds = 0;
   double query_seconds = 0;
@@ -164,17 +228,35 @@ class BatchServer {
   BatchServer& operator=(const BatchServer&) = delete;
 
   /// Thread-safe. Blocks while the query queue is full; throws
-  /// std::runtime_error after stop(). The future resolves with the epoch
-  /// that serves the batch.
+  /// ServerStopped if called after stop(). The future resolves with the
+  /// epoch that serves the batch — or with ServerStopped if stop() arrives
+  /// while the submitter is parked on a full queue (the future is
+  /// rejected, never left dangling).
   std::future<QueryResult> submit_queries(QueryBatch q);
 
   /// Thread-safe. Blocks while the update queue is full. Updates are
   /// applied in submission order; the future resolves after the produced
   /// version is published (read-your-writes: snapshot() then observes it).
+  /// Rejected with ServerStopped if stop() arrives while parked.
   std::future<UpdateResult> submit_update(UpdateRequest u);
+
+  /// Deadline-carrying variants: wait at most `timeout` for admission
+  /// (rejecting the future with DeadlineExceeded on expiry), and carry the
+  /// deadline into the queue — a request whose deadline has passed when
+  /// its epoch starts is rejected with DeadlineExceeded instead of being
+  /// served stale. Thread-safe; never blocks past the deadline.
+  std::future<QueryResult> submit_queries_for(
+      QueryBatch q, std::chrono::steady_clock::duration timeout);
+  std::future<UpdateResult> submit_update_for(
+      UpdateRequest u, std::chrono::steady_clock::duration timeout);
 
   /// Spawns the epoch engine thread. stop() drains both queues, processes
   /// everything still admitted, then joins; the destructor calls stop().
+  /// stop() additionally unblocks every submitter parked on a full
+  /// admission queue (their futures reject with ServerStopped) and, when
+  /// no engine is running to drain them (step() mode), rejects all
+  /// still-queued requests with ServerStopped — no future survives stop()
+  /// unresolved.
   void start();
   void stop();
 
@@ -185,6 +267,20 @@ class BatchServer {
   /// was nothing to do. Never mix with a start()ed engine.
   bool step();
 
+  /// Degraded serial-fallback mode (any thread). Marking the pool
+  /// unhealthy makes every subsequent epoch run under a
+  /// scheduler::SerialScope on the engine thread: queries answer
+  /// sequentially, updates never overlap, and the work-stealing pool is
+  /// not touched at all — correct (slower) service while the pool is
+  /// stalled, wedged, or being debugged. Counted in
+  /// ServiceStats::degraded_epochs.
+  void set_pool_healthy(bool healthy) {
+    pool_healthy_.store(healthy, std::memory_order_relaxed);
+  }
+  bool pool_healthy() const {
+    return pool_healthy_.load(std::memory_order_relaxed);
+  }
+
   /// Pin of the currently published version (any thread).
   SnapshotHandle snapshot() const { return store_.acquire(); }
 
@@ -194,14 +290,21 @@ class BatchServer {
   ServiceStats stats() const;
 
  private:
+  using Deadline = std::optional<std::chrono::steady_clock::time_point>;
+
   struct PendingQuery {
     QueryBatch batch;
     std::promise<QueryResult> promise;
+    Deadline deadline;
   };
   struct PendingUpdate {
     UpdateRequest request;
     std::promise<UpdateResult> promise;
+    Deadline deadline;
   };
+
+  std::future<QueryResult> enqueue_queries(QueryBatch q, Deadline deadline);
+  std::future<UpdateResult> enqueue_update(UpdateRequest u, Deadline deadline);
 
   void engine_loop();
   bool process_epoch(std::vector<PendingQuery> queries,
@@ -219,7 +322,8 @@ class BatchServer {
   SnapshotStore store_;
   ServiceConfig cfg_;
   std::uint64_t version_ = 0;  // engine/step thread only
-  bool failed_ = false;        // an apply() threw; updates are halted
+  bool failed_ = false;        // an apply() threw mid-flight; updates halted
+  std::atomic<bool> pool_healthy_{true};
 
   std::mutex mu_;
   std::condition_variable cv_work_;

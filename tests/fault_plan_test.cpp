@@ -1,0 +1,114 @@
+// Fault-injection plan mechanics, independent of any armed build: the
+// schedule decision function, the spec format round trip, and malformed
+// spec rejection. These run in every build (the spec types compile
+// unconditionally); the armed end-to-end schedules live in chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "fault/fault_injection.hpp"
+
+namespace parct::fault {
+namespace {
+
+TEST(FaultPlan, SiteNamesRoundTrip) {
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    const Site s = static_cast<Site>(i);
+    const auto parsed = parse_site(site_name(s));
+    ASSERT_TRUE(parsed.has_value()) << site_name(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(parse_site("no-such-site").has_value());
+  EXPECT_FALSE(parse_site("").has_value());
+}
+
+TEST(FaultPlan, ScheduleDecisionFunction) {
+  SiteSchedule off;
+  for (std::uint64_t h = 0; h < 10; ++h) EXPECT_FALSE(off.fires(h));
+
+  SiteSchedule once{Mode::kOnce, 3, 1, 1};
+  for (std::uint64_t h = 0; h < 10; ++h) {
+    EXPECT_EQ(once.fires(h), h == 3) << h;
+  }
+
+  SiteSchedule periodic{Mode::kPeriodic, 2, 4, 1};
+  for (std::uint64_t h = 0; h < 20; ++h) {
+    EXPECT_EQ(periodic.fires(h), h >= 2 && (h - 2) % 4 == 0) << h;
+  }
+
+  SiteSchedule burst{Mode::kBurst, 5, 1, 3};
+  for (std::uint64_t h = 0; h < 12; ++h) {
+    EXPECT_EQ(burst.fires(h), h >= 5 && h < 8) << h;
+  }
+}
+
+TEST(FaultPlan, SpecFormatRoundTrips) {
+  Plan plan;
+  plan.seed = 42;
+  plan[Site::kEpochApply] = {Mode::kBurst, 3, 1, 2};
+  plan[Site::kQueueAdmission] = {Mode::kPeriodic, 1, 5, 1};
+  plan[Site::kWorkspaceAcquire] = {Mode::kOnce, 7, 1, 1};
+
+  const std::string spec = format_plan(plan);
+  // Self-describing and stable — this exact string is what a failing
+  // chaos run prints for PARCT_CHAOS_SPEC.
+  EXPECT_EQ(spec,
+            "seed=42;workspace-acquire:once@7;epoch-apply:burst@3x2;"
+            "queue-admission:periodic@1/5");
+
+  const Plan back = parse_plan(spec);
+  EXPECT_EQ(back.seed, plan.seed);
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    const Site s = static_cast<Site>(i);
+    EXPECT_EQ(back[s].mode, plan[s].mode) << site_name(s);
+    for (std::uint64_t h = 0; h < 64; ++h) {
+      EXPECT_EQ(back[s].fires(h), plan[s].fires(h))
+          << site_name(s) << " hit " << h;
+    }
+  }
+  EXPECT_EQ(format_plan(back), spec) << "format must be a fixed point";
+}
+
+TEST(FaultPlan, EmptyPlanIsJustTheSeed) {
+  Plan plan;
+  plan.seed = 9;
+  EXPECT_EQ(format_plan(plan), "seed=9");
+  const Plan back = parse_plan("seed=9");
+  for (unsigned i = 0; i < kNumSites; ++i) {
+    EXPECT_EQ(back.sites[i].mode, Mode::kOff);
+  }
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_plan(""), std::runtime_error);
+  EXPECT_THROW(parse_plan("epoch-apply:once@1"), std::runtime_error)
+      << "seed is mandatory";
+  EXPECT_THROW(parse_plan("seed=banana"), std::runtime_error);
+  EXPECT_THROW(parse_plan("seed=1;no-such-site:once@0"), std::runtime_error);
+  EXPECT_THROW(parse_plan("seed=1;epoch-apply:sometimes@0"),
+               std::runtime_error);
+  EXPECT_THROW(parse_plan("seed=1;epoch-apply"), std::runtime_error);
+  EXPECT_THROW(parse_plan("seed=1;epoch-apply:once"), std::runtime_error);
+}
+
+TEST(FaultPlan, InjectedFaultCarriesItsSite) {
+  const InjectedFault e(Site::kEpochApply);
+  EXPECT_EQ(e.site(), Site::kEpochApply);
+  EXPECT_NE(std::string(e.what()).find("epoch-apply"), std::string::npos);
+}
+
+#if !PARCT_FAULT_INJECT
+TEST(FaultPlan, StubsAreInertWithoutTheBuildFlag) {
+  Plan plan;
+  plan.seed = 1;
+  plan[Site::kEpochApply] = {Mode::kBurst, 0, 1, 1000};
+  arm(plan);  // no-op stub
+  EXPECT_FALSE(armed());
+  EXPECT_EQ(hits(Site::kEpochApply), 0u);
+  EXPECT_EQ(fired(Site::kEpochApply), 0u);
+  disarm();
+}
+#endif
+
+}  // namespace
+}  // namespace parct::fault

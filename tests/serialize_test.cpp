@@ -1,17 +1,25 @@
 // Tests for contraction-structure serialization: round-trip identity and,
 // crucially, that a loaded structure keeps updating correctly (same coin
 // schedule) — dynamic updates on the loaded copy must equal updates on the
+// original. The aggregate section round-trips randomized forests with a
+// bound TreeAggregate (save_aggregate/load_aggregate) and checks that the
+// reloaded (structure, aggregate) pair repairs incrementally like the
 // original.
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "contraction/construct.hpp"
 #include "contraction/dynamic_update.hpp"
+#include "contraction/hooks.hpp"
 #include "contraction/serialize.hpp"
 #include "contraction/validate.hpp"
 #include "forest/generators.hpp"
 #include "forest/tree_builder.hpp"
+#include "hashing/splitmix64.hpp"
+#include "rc/rc_forest.hpp"
+#include "rc/tree_aggregate.hpp"
 
 namespace parct::contract {
 namespace {
@@ -60,6 +68,114 @@ TEST(Serialize, LoadedStructureUpdatesIdentically) {
 TEST(Serialize, RejectsGarbage) {
   std::stringstream buf("definitely not a contraction structure");
   EXPECT_THROW(load(buf), std::runtime_error);
+}
+
+TEST(SerializeAggregate, RandomForestRoundTrip) {
+  // Randomized forest shapes x random weights: the reloaded (structure,
+  // aggregate) pair must answer every tree-weight query like the original.
+  for (const std::uint64_t seed : {3u, 19u, 58u}) {
+    const std::size_t n = 400 + 150 * seed;
+    forest::Forest f = forest::random_forest(n, 5, 4, 0.4, seed);
+    ContractionForest c(n, 4, 900 + seed);
+    construct(c, f);
+    rc::RCForest rcf(c);
+    hashing::SplitMix64 rng(seed * 13 + 1);
+    std::vector<long> w(n);
+    for (long& x : w) x = static_cast<long>(rng.next_below(1000));
+    rc::TreeAggregate<long> agg(rcf, w);
+
+    std::stringstream sbuf, abuf;
+    save(c, sbuf);
+    rc::save_aggregate(agg, abuf);
+
+    ContractionForest lc = load(sbuf);
+    rc::RCForest lrcf(lc);
+    rc::TreeAggregate<long> lagg = rc::load_aggregate<long>(lrcf, abuf);
+
+    ASSERT_EQ(lagg.weights(), agg.weights()) << "seed " << seed;
+    ASSERT_EQ(lagg.accumulators(), agg.accumulators()) << "seed " << seed;
+    for (VertexId v = 0; v < n; ++v) {
+      if (!f.present(v)) continue;
+      ASSERT_EQ(lagg.tree_weight(v), agg.tree_weight(v))
+          << "seed " << seed << " vertex " << v;
+    }
+  }
+}
+
+TEST(SerializeAggregate, LoadedPairRepairsIncrementally) {
+  // The loaded copy is live, not a snapshot: dynamic updates with the
+  // incremental prepare_update/refresh/apply_update repair must track the
+  // original exactly (same coin schedule, same weights).
+  const std::size_t n = 800;
+  forest::Forest f = forest::random_forest(n, 6, 4, 0.45, 42);
+  ContractionForest c(n, 4, 4242);
+  construct(c, f);
+  rc::RCForest rcf(c);
+  hashing::SplitMix64 rng(99);
+  std::vector<long> w(n);
+  for (long& x : w) x = static_cast<long>(rng.next_below(50));
+  rc::TreeAggregate<long> agg(rcf, w);
+
+  std::stringstream sbuf, abuf;
+  save(c, sbuf);
+  rc::save_aggregate(agg, abuf);
+  ContractionForest lc = load(sbuf);
+  rc::RCForest lrcf(lc);
+  rc::TreeAggregate<long> lagg = rc::load_aggregate<long>(lrcf, abuf);
+
+  DynamicUpdater upd(c), lupd(lc);
+  forest::Forest cur = f;
+  for (int step = 0; step < 5; ++step) {
+    forest::ChangeSet m = forest::make_delete_batch(cur, 5, 500 + step);
+    cur = forest::apply_change_set(cur, m);
+    auto apply_and_repair = [&m](DynamicUpdater& u, rc::RCForest& r,
+                                 rc::TreeAggregate<long>& a) {
+      contract::TouchedRecorder touched;
+      u.apply(m, &touched);
+      std::vector<VertexId>& tv = touched.vertices();
+      tv.insert(tv.end(), m.remove_vertices.begin(),
+                m.remove_vertices.end());
+      a.prepare_update(tv);
+      r.refresh(tv);
+      a.apply_update();
+    };
+    apply_and_repair(upd, rcf, agg);
+    apply_and_repair(lupd, lrcf, lagg);
+    ASSERT_TRUE(structurally_equal(c, lc)) << "step " << step;
+    ASSERT_EQ(lagg.accumulators(), agg.accumulators()) << "step " << step;
+  }
+}
+
+TEST(SerializeAggregate, RejectsMismatchAndGarbage) {
+  forest::Forest f = forest::build_tree(120, 4, 0.5, 6);
+  ContractionForest c(f.capacity(), 4, 8);
+  construct(c, f);
+  rc::RCForest rcf(c);
+  rc::TreeAggregate<long> agg(rcf, std::vector<long>(f.capacity(), 1));
+
+  std::stringstream garbage("not an aggregate");
+  EXPECT_THROW(rc::load_aggregate<long>(rcf, garbage), std::runtime_error);
+
+  // Element-type mismatch: saved as long, loaded as int.
+  std::stringstream typed;
+  rc::save_aggregate(agg, typed);
+  EXPECT_THROW(rc::load_aggregate<int>(rcf, typed), std::runtime_error);
+
+  // Capacity mismatch: bound forest differs from the saved table.
+  forest::Forest g = forest::build_tree(60, 4, 0.5, 6);
+  ContractionForest c2(g.capacity(), 4, 8);
+  construct(c2, g);
+  rc::RCForest rcf2(c2);
+  std::stringstream sized;
+  rc::save_aggregate(agg, sized);
+  EXPECT_THROW(rc::load_aggregate<long>(rcf2, sized), std::runtime_error);
+
+  // Truncation mid-table.
+  std::stringstream full;
+  rc::save_aggregate(agg, full);
+  const std::string bytes = full.str();
+  std::stringstream cut(bytes.substr(0, bytes.size() / 2));
+  EXPECT_THROW(rc::load_aggregate<long>(rcf, cut), std::runtime_error);
 }
 
 TEST(Serialize, RejectsTruncation) {

@@ -1,0 +1,330 @@
+// Failure semantics of the serving layer: deadline-carrying submits,
+// overload shedding, bounded retry of aborted update epochs, the degraded
+// serial-fallback mode, and the stop() contract (no future survives
+// unresolved). Deterministic step()-driven epochs except where a parked
+// submitter thread is the thing under test; under PARCT_RACE_DETECT the
+// stepped scenarios run beneath the SP-bags detector.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "contraction/construct.hpp"
+#include "fault/fault_injection.hpp"
+#include "forest/generators.hpp"
+#include "forest/validation.hpp"
+#include "hashing/splitmix64.hpp"
+#include "parallel/scheduler.hpp"
+#include "service/batch_server.hpp"
+
+namespace parct::service {
+namespace {
+
+using namespace std::chrono_literals;
+
+class ServiceDeadlineTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kN = 900;
+
+  void SetUp() override {
+    par::scheduler::initialize(4);
+    f_ = forest::random_forest(kN, 6, 4, 0.4, 23);
+    c_ = std::make_unique<contract::ContractionForest>(kN, 4, 3);
+    contract::construct(*c_, f_);
+  }
+  void TearDown() override {
+    fault::disarm();
+    par::scheduler::initialize(1);
+  }
+
+  QueryBatch sample_queries(std::uint64_t seed, std::size_t k) const {
+    hashing::SplitMix64 rng(seed);
+    QueryBatch q;
+    for (std::size_t i = 0; i < k; ++i) {
+      q.roots.push_back(static_cast<VertexId>(rng.next_below(kN)));
+      q.connected.push_back({static_cast<VertexId>(rng.next_below(kN)),
+                             static_cast<VertexId>(rng.next_below(kN))});
+      q.tree_weights.push_back(static_cast<VertexId>(rng.next_below(kN)));
+    }
+    return q;
+  }
+
+  void expect_matches(const QueryBatch& q, const QueryResult& r,
+                      const forest::Forest& oracle) const {
+    for (std::size_t i = 0; i < q.roots.size(); ++i) {
+      ASSERT_EQ(r.roots[i], forest::root_of(oracle, q.roots[i])) << i;
+    }
+    for (std::size_t i = 0; i < q.connected.size(); ++i) {
+      ASSERT_EQ(r.connected[i] != 0,
+                forest::root_of(oracle, q.connected[i].first) ==
+                    forest::root_of(oracle, q.connected[i].second))
+          << i;
+    }
+  }
+
+  forest::Forest f_{0};
+  std::unique_ptr<contract::ContractionForest> c_;
+};
+
+TEST_F(ServiceDeadlineTest, ExpiredQueryDeadlineRejectsInsteadOfServingStale) {
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  // Admission is instant (queue empty) but the deadline has passed by the
+  // time the epoch starts.
+  auto late = server.submit_queries_for(sample_queries(1, 40), 0ns);
+  auto fresh = server.submit_queries_for(sample_queries(2, 40), 10min);
+  std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(server.step());
+  EXPECT_THROW(late.get(), DeadlineExceeded);
+  QueryResult r = fresh.get();
+  EXPECT_EQ(r.version, 0u);
+  EXPECT_EQ(server.stats().deadline_rejections, 1u);
+}
+
+TEST_F(ServiceDeadlineTest, ExpiredUpdateDeadlineLeavesStructureUntouched) {
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  UpdateRequest u;
+  u.batch = forest::make_delete_batch(f_, 5, 11);
+  auto fut = server.submit_update_for(std::move(u), 0ns);
+  std::this_thread::sleep_for(1ms);
+  ASSERT_TRUE(server.step());
+  EXPECT_THROW(fut.get(), DeadlineExceeded);
+  EXPECT_EQ(server.version(), 0u) << "expired update must not publish";
+
+  // The same batch with a fresh deadline applies normally.
+  UpdateRequest again;
+  again.batch = forest::make_delete_batch(f_, 5, 11);
+  auto ok = server.submit_update_for(std::move(again), 10min);
+  ASSERT_TRUE(server.step());
+  EXPECT_EQ(ok.get().version, 1u);
+}
+
+TEST_F(ServiceDeadlineTest, AdmissionTimeoutOnFullQueue) {
+  ServiceConfig cfg;
+  cfg.max_pending_query_batches = 1;
+  BatchServer server(*c_, cfg, std::vector<Weight>(kN, 1));
+  auto first = server.submit_queries(sample_queries(3, 20));
+  // The queue is full and nothing drains it: the deadline-carrying submit
+  // must give up at its deadline instead of blocking forever.
+  const auto t0 = std::chrono::steady_clock::now();
+  auto timed = server.submit_queries_for(sample_queries(4, 20), 30ms);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 25ms);
+  EXPECT_THROW(timed.get(), DeadlineExceeded);
+  EXPECT_EQ(server.stats().deadline_rejections, 1u);
+  ASSERT_TRUE(server.step());
+  EXPECT_EQ(first.get().version, 0u);
+}
+
+TEST_F(ServiceDeadlineTest, ShedsOldestQueriesBeyondHighWater) {
+  ServiceConfig cfg;
+  cfg.query_shed_high_water = 2;
+  BatchServer server(*c_, cfg, std::vector<Weight>(kN, 1));
+  std::vector<QueryBatch> batches;
+  std::vector<std::future<QueryResult>> futs;
+  for (int i = 0; i < 5; ++i) {
+    batches.push_back(sample_queries(10 + i, 30));
+    futs.push_back(server.submit_queries(batches.back()));
+  }
+  ASSERT_TRUE(server.step());
+  // The three oldest batches shed; the two newest are served correctly.
+  std::uint64_t shed_items = 0;
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_THROW(futs[i].get(), QueryShed) << i;
+    shed_items += batches[i].size();
+  }
+  for (int i = 3; i < 5; ++i) {
+    QueryResult r = futs[i].get();
+    EXPECT_EQ(r.version, 0u);
+    expect_matches(batches[i], r, f_);
+  }
+  EXPECT_EQ(server.stats().queries_shed, shed_items);
+  EXPECT_EQ(server.stats().queries_served, batches[3].size() +
+                                               batches[4].size());
+}
+
+TEST_F(ServiceDeadlineTest, DegradedModeServesCorrectlyOffThePool) {
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  ASSERT_TRUE(server.pool_healthy());
+  server.set_pool_healthy(false);
+
+  QueryBatch q = sample_queries(30, 60);
+  auto qfut = server.submit_queries(q);
+  UpdateRequest u;
+  u.batch = forest::make_delete_batch(f_, 6, 31);
+  forest::Forest f1 = forest::apply_change_set(f_, u.batch);
+  auto ufut = server.submit_update(std::move(u));
+  ASSERT_TRUE(server.step());
+  expect_matches(q, qfut.get(), f_);
+  EXPECT_EQ(ufut.get().version, 1u);
+  EXPECT_EQ(server.stats().degraded_epochs, 1u);
+
+  // Recovery: marking the pool healthy again ends the fallback.
+  server.set_pool_healthy(true);
+  QueryBatch q1 = sample_queries(32, 60);
+  auto qfut1 = server.submit_queries(q1);
+  ASSERT_TRUE(server.step());
+  expect_matches(q1, qfut1.get(), f1);
+  EXPECT_EQ(server.stats().degraded_epochs, 1u);
+}
+
+#if PARCT_FAULT_INJECT
+
+TEST_F(ServiceDeadlineTest, ReadYourWritesHoldsAcrossEpochRetry) {
+  ServiceConfig cfg;
+  cfg.max_epoch_retries = 2;
+  cfg.retry_backoff = std::chrono::microseconds(50);
+  BatchServer server(*c_, cfg, std::vector<Weight>(kN, 1));
+
+  // The first apply attempt aborts at the boundary; the retry succeeds.
+  fault::Plan plan;
+  plan.seed = 7;
+  plan[fault::Site::kEpochApply] = {fault::Mode::kOnce, 0, 1, 1};
+  fault::arm(plan);
+
+  UpdateRequest u;
+  u.batch = forest::make_delete_batch(f_, 8, 41);
+  forest::Forest f1 = forest::apply_change_set(f_, u.batch);
+  auto ufut = server.submit_update(std::move(u));
+  ASSERT_TRUE(server.step());
+  UpdateResult ur = ufut.get();  // resolves — the retry applied the batch
+  EXPECT_EQ(ur.version, 1u);
+  EXPECT_EQ(fault::fired(fault::Site::kEpochApply), 1u);
+  EXPECT_EQ(server.stats().epoch_retries, 1u);
+
+  // Read-your-writes: the waiter's next snapshot observes the write even
+  // though the epoch aborted once along the way.
+  const SnapshotHandle snap = server.snapshot();
+  ASSERT_EQ(snap.version(), 1u);
+  for (VertexId v = 0; v < kN; v += 17) {
+    ASSERT_EQ(snap->root(v), forest::root_of(f1, v));
+  }
+}
+
+TEST_F(ServiceDeadlineTest, ExhaustedRetriesRejectCleanly) {
+  ServiceConfig cfg;
+  cfg.max_epoch_retries = 1;
+  cfg.retry_backoff = std::chrono::microseconds(50);
+  BatchServer server(*c_, cfg, std::vector<Weight>(kN, 1));
+
+  fault::Plan plan;  // abort every attempt
+  plan.seed = 8;
+  plan[fault::Site::kEpochApply] = {fault::Mode::kBurst, 0, 1, 1000};
+  fault::arm(plan);
+
+  UpdateRequest u;
+  u.batch = forest::make_delete_batch(f_, 8, 43);
+  auto ufut = server.submit_update(std::move(u));
+  ASSERT_TRUE(server.step());
+  EXPECT_THROW(ufut.get(), EpochAborted);
+  EXPECT_EQ(server.version(), 0u) << "aborted epoch must not publish";
+  EXPECT_EQ(server.stats().epoch_retries, 1u);
+
+  // The abort fired pre-mutation: the server is NOT poisoned. Disarm and
+  // the same batch applies.
+  fault::disarm();
+  UpdateRequest again;
+  again.batch = forest::make_delete_batch(f_, 8, 43);
+  auto ok = server.submit_update(std::move(again));
+  ASSERT_TRUE(server.step());
+  EXPECT_EQ(ok.get().version, 1u);
+}
+
+#endif  // PARCT_FAULT_INJECT
+
+#if !PARCT_RACE_DETECT
+
+TEST_F(ServiceDeadlineTest, StopUnblocksParkedSubmitters) {
+  // Regression: a submitter parked on a full admission queue must be woken
+  // by stop() and have its future rejected with ServerStopped — before
+  // this contract, stop() left it blocked forever.
+  ServiceConfig cfg;
+  cfg.max_pending_query_batches = 1;
+  cfg.max_pending_updates = 1;
+  BatchServer server(*c_, cfg, std::vector<Weight>(kN, 1));
+  auto queued_q = server.submit_queries(sample_queries(50, 10));
+  UpdateRequest u0;
+  u0.batch = forest::make_delete_batch(f_, 2, 51);
+  auto queued_u = server.submit_update(std::move(u0));
+
+  std::promise<std::future<QueryResult>> parked_q_slot;
+  auto parked_q = parked_q_slot.get_future();
+  std::thread qsub([&] {
+    parked_q_slot.set_value(server.submit_queries(sample_queries(52, 10)));
+  });
+  std::promise<std::future<UpdateResult>> parked_u_slot;
+  auto parked_u = parked_u_slot.get_future();
+  std::thread usub([&] {
+    UpdateRequest u1;
+    u1.batch = forest::make_delete_batch(f_, 2, 53);
+    parked_u_slot.set_value(server.submit_update(std::move(u1)));
+  });
+  std::this_thread::sleep_for(30ms);  // let both park on cv_space_
+
+  server.stop();
+  qsub.join();
+  usub.join();
+  EXPECT_THROW(parked_q.get().get(), ServerStopped);
+  EXPECT_THROW(parked_u.get().get(), ServerStopped);
+  // No engine ever ran: the admitted-but-unserved requests reject too —
+  // no future survives stop() unresolved.
+  EXPECT_THROW(queued_q.get(), ServerStopped);
+  EXPECT_THROW(queued_u.get(), ServerStopped);
+  // And fail-fast afterwards.
+  EXPECT_THROW(server.submit_queries(QueryBatch{}), ServerStopped);
+  EXPECT_THROW(server.submit_update(UpdateRequest{}), ServerStopped);
+}
+
+TEST_F(ServiceDeadlineTest, EngineServesDeadlineTrafficEndToEnd) {
+  ServiceConfig cfg;
+  cfg.query_shed_high_water = 64;  // high enough not to trigger
+  BatchServer server(*c_, cfg, std::vector<Weight>(kN, 1));
+  server.start();
+  std::vector<std::pair<QueryBatch, std::future<QueryResult>>> futs;
+  for (int i = 0; i < 16; ++i) {
+    QueryBatch q = sample_queries(60 + i, 40);
+    futs.emplace_back(q, server.submit_queries_for(q, 10min));
+  }
+  server.stop();
+  for (auto& [q, fut] : futs) {
+    QueryResult r = fut.get();  // generous deadlines: all served
+    EXPECT_EQ(r.version, 0u);
+    expect_matches(q, r, f_);
+  }
+  EXPECT_EQ(server.stats().deadline_rejections, 0u);
+  EXPECT_EQ(server.stats().queries_shed, 0u);
+}
+
+#else  // PARCT_RACE_DETECT
+
+TEST_F(ServiceDeadlineTest, SteppedDegradationUnderRaceDetector) {
+  // The stepped composite: shed + deadline + degraded epochs beneath the
+  // SP-bags detector — the failure paths must not introduce determinacy
+  // races into the epoch pipeline.
+  ServiceConfig cfg;
+  cfg.query_shed_high_water = 2;  // sheds only the oldest of the three
+  BatchServer server(*c_, cfg, std::vector<Weight>(kN, 1));
+  server.set_pool_healthy(false);
+  auto shed = server.submit_queries(sample_queries(70, 30));
+  QueryBatch q = sample_queries(71, 30);
+  auto expired = server.submit_queries_for(sample_queries(72, 30), 0ns);
+  std::this_thread::sleep_for(1ms);
+  auto served = server.submit_queries(q);
+  UpdateRequest u;
+  u.batch = forest::make_delete_batch(f_, 4, 73);
+  auto ufut = server.submit_update(std::move(u));
+  ASSERT_TRUE(server.step());
+  EXPECT_THROW(shed.get(), QueryShed);
+  EXPECT_THROW(expired.get(), DeadlineExceeded);
+  expect_matches(q, served.get(), f_);
+  EXPECT_EQ(ufut.get().version, 1u);
+  EXPECT_EQ(server.stats().degraded_epochs, 1u);
+}
+
+#endif  // PARCT_RACE_DETECT
+
+}  // namespace
+}  // namespace parct::service

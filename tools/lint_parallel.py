@@ -28,6 +28,13 @@ Rules (see docs/STATIC_ANALYSIS.md):
                   immutable Snapshot; a live read would race the update
                   thread that may be propagating the successor version
                   concurrently (docs/OBSERVABILITY.md "Serving epochs").
+  fault-macro     direct use of fault::detail::should_fire/stall or a bare
+                  `#if PARCT_FAULT_INJECT` in src/ outside src/fault/ —
+                  injection sites must go through PARCT_FAULT_POINT /
+                  PARCT_FAULT_STALL, which compile to constants in an OFF
+                  build; direct calls (or hand-rolled conditionals) leave
+                  fault-registry traffic in production binaries
+                  (docs/TESTING.md "Fault injection").
 
 Suppression: a line (or the line above it) containing
 `// parct-lint: allow(<rule>)` suppresses that rule for that line; the
@@ -110,6 +117,13 @@ QUERY_PATH_FN = re.compile(r"\b(BatchServer::)?answer\s*\(")
 # Live (mutable, update-owned) members of the serving layer. `snap`/pinned
 # snapshot reads are the sanctioned alternative.
 LIVE_STRUCTURE = re.compile(r"\b(c_|rcf_|agg_|updater_|mirror_|store_)\s*\.")
+
+# fault-macro: the registry entry points and the build-flag conditional.
+# Only the PARCT_FAULT_POINT/PARCT_FAULT_STALL macros (and src/fault/
+# itself) may reference either — that is what guarantees an OFF build
+# contains no trace of the injection sites.
+FAULT_DETAIL = re.compile(r"\bfault::detail::(should_fire|stall)\b")
+FAULT_IFDEF = re.compile(r"#\s*(el)?if(def)?\b.*\bPARCT_FAULT_INJECT\b")
 
 
 def allowed(rule: str, lines: list[str], idx: int) -> bool:
@@ -238,6 +252,21 @@ def lint_file(path: Path, findings: list[str]) -> None:
                     f"{loc}: snapshot-bypass: query path reads the live "
                     "structure — answer queries from the pinned Snapshot "
                     "only (it may be mutated by the overlapped update)"
+                )
+
+        # fault-macro: injection sites outside src/fault/ must use the
+        # macros, never the registry or the build flag directly.
+        if (
+            rel.startswith("src/")
+            and not rel.startswith("src/fault/")
+            and (FAULT_DETAIL.search(code) or FAULT_IFDEF.search(code))
+        ):
+            if not allowed("fault-macro", lines, idx):
+                findings.append(
+                    f"{loc}: fault-macro: use PARCT_FAULT_POINT/"
+                    "PARCT_FAULT_STALL — direct fault::detail calls or "
+                    "PARCT_FAULT_INJECT conditionals do not compile away in "
+                    "OFF builds"
                 )
 
         # Track hot-phase function extents (definitions only: call sites
@@ -424,6 +453,49 @@ def self_test() -> int:
             "  // parct-lint: allow(snapshot-bypass) reason: test fixture\n"
             "  out[i] = rcf_.root(q.roots[i]);\n"
             "}\n",
+            None,
+        ),
+        (
+            # Direct registry call bypasses the compile-away macros.
+            "src/foo/hot.cpp",
+            "void f() {\n"
+            "  if (fault::detail::should_fire(fault::Site::kEpochApply)) {\n"
+            "    abort_epoch();\n"
+            "  }\n"
+            "}\n",
+            "fault-macro",
+        ),
+        (
+            # Hand-rolled conditional on the build flag, same problem.
+            "src/foo/hot.cpp",
+            "#if PARCT_FAULT_INJECT\n"
+            "void maybe_fail();\n"
+            "#endif\n",
+            "fault-macro",
+        ),
+        (
+            # The macros are the sanctioned site spelling.
+            "src/foo/hot.cpp",
+            "void f() {\n"
+            "  if (PARCT_FAULT_POINT(fault::Site::kEpochApply)) {\n"
+            "    throw fault::InjectedFault(fault::Site::kEpochApply);\n"
+            "  }\n"
+            "  PARCT_FAULT_STALL(fault::Site::kSchedulerSteal);\n"
+            "}\n",
+            None,
+        ),
+        (
+            # src/fault/ itself implements the registry — exempt.
+            "src/fault/fault_injection.cpp",
+            "#if PARCT_FAULT_INJECT\n"
+            "bool detail::should_fire(Site s) noexcept { return false; }\n"
+            "#endif\n",
+            None,
+        ),
+        (
+            "src/foo/hot.cpp",
+            "// parct-lint: allow(fault-macro) reason: test fixture\n"
+            "bool probe() { return fault::detail::should_fire(s); }\n",
             None,
         ),
     ]
