@@ -41,6 +41,7 @@ enum class ShadowArray : std::uint64_t {
   kOldLeaf = 4,          // dynamic_update: leaf-in-G flags
   kNewLeaf = 5,          // dynamic_update: leaf-in-F flags
   kCand = 6,             // dynamic_update: claim-then-pack candidate slots
+  kRCEvents = 7,         // rc_forest: the derived per-vertex event table
 };
 
 namespace detail {

@@ -337,7 +337,7 @@ std::string describe(ShadowKey key) {
       static constexpr const char* kNames[] = {
           "construct.status", "update.mark_l",   "update.mark_lx",
           "update.status_g",  "update.old_leaf", "update.new_leaf",
-          "update.cand"};
+          "update.cand",      "rc.events"};
       const auto array = (key.value >> 32) & 0x3Fu;
       const char* name =
           array < sizeof(kNames) / sizeof(kNames[0]) ? kNames[array] : "?";

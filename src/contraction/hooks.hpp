@@ -5,10 +5,10 @@
 
 #include <cstdint>
 #include <initializer_list>
-#include <mutex>
 #include <vector>
 
 #include "forest/types.hpp"
+#include "parallel/capability.hpp"
 
 namespace parct::contract {
 
@@ -114,21 +114,30 @@ class TouchedRecorder final : public EventHooks {
     note(v);
   }
 
-  const std::vector<VertexId>& vertices() const { return vs_; }
-  std::vector<VertexId>& vertices() { return vs_; }
-  void clear() { vs_.clear(); }
+  // Quiescent accessors: called after the construction/update (and its
+  // joins) completes, when no hook can fire concurrently — lock-free by
+  // contract, so the analysis is deliberately waived here rather than
+  // pretending a lock is needed.
+  const std::vector<VertexId>& vertices() const
+      PARCT_NO_THREAD_SAFETY_ANALYSIS {
+    return vs_;
+  }
+  std::vector<VertexId>& vertices() PARCT_NO_THREAD_SAFETY_ANALYSIS {
+    return vs_;
+  }
+  void clear() PARCT_NO_THREAD_SAFETY_ANALYSIS { vs_.clear(); }
 
  private:
   // Events fire from parallel regions (distinct vertices concurrently);
   // the touched set is small — the affected region — so a mutex push is
   // cheap relative to the re-execution work that triggered it.
-  void note(VertexId v) {
-    std::lock_guard<std::mutex> lk(mu_);
+  void note(VertexId v) PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     vs_.push_back(v);
   }
 
-  std::mutex mu_;
-  std::vector<VertexId> vs_;
+  Mutex mu_;
+  std::vector<VertexId> vs_ PARCT_GUARDED_BY(mu_);
 };
 
 }  // namespace parct::contract

@@ -4,8 +4,9 @@
 
 #if PARCT_FAULT_INJECT
 #include <chrono>
-#include <mutex>
 #include <thread>
+
+#include "parallel/capability.hpp"
 #endif
 
 namespace parct::fault {
@@ -139,11 +140,11 @@ namespace {
 // arm/disarm racing an active site well-defined under TSAN — the chaos CI
 // job runs this build with sanitizers on.
 struct Registry {
-  std::mutex mu;
-  bool armed = false;
-  Plan plan;
-  std::uint64_t hits[kNumSites] = {};
-  std::uint64_t fired[kNumSites] = {};
+  Mutex mu;
+  bool armed PARCT_GUARDED_BY(mu) = false;
+  Plan plan PARCT_GUARDED_BY(mu);
+  std::uint64_t hits[kNumSites] PARCT_GUARDED_BY(mu) = {};
+  std::uint64_t fired[kNumSites] PARCT_GUARDED_BY(mu) = {};
 };
 
 Registry& registry() {
@@ -155,7 +156,7 @@ Registry& registry() {
 
 void arm(const Plan& plan) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   r.armed = true;
   r.plan = plan;
   for (unsigned i = 0; i < kNumSites; ++i) r.hits[i] = r.fired[i] = 0;
@@ -163,25 +164,25 @@ void arm(const Plan& plan) {
 
 void disarm() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   r.armed = false;
 }
 
 bool armed() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   return r.armed;
 }
 
 std::uint64_t hits(Site s) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   return r.hits[static_cast<unsigned>(s)];
 }
 
 std::uint64_t fired(Site s) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   return r.fired[static_cast<unsigned>(s)];
 }
 
@@ -189,7 +190,7 @@ namespace detail {
 
 bool should_fire(Site s) noexcept {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lk(r.mu);
+  MutexLock lk(r.mu);
   if (!r.armed) return false;
   const unsigned i = static_cast<unsigned>(s);
   const std::uint64_t hit = r.hits[i]++;

@@ -1,0 +1,160 @@
+// Capability-annotated concurrency primitives: the one place in src/ that
+// is allowed to spell `std::mutex` (enforced by the `raw-mutex` rule of
+// tools/lint_parallel.py).
+//
+// Clang Thread Safety Analysis (-Werror=thread-safety, the `thread-safety`
+// CI job — docs/STATIC_ANALYSIS.md §3) checks lock discipline at compile
+// time: every member annotated PARCT_GUARDED_BY(mu) may only be touched
+// while `mu` is held, every method annotated PARCT_REQUIRES(mu) may only
+// be called with `mu` held, and the RAII MutexLock proves acquisition to
+// the analysis. On compilers without the attributes (GCC) the macros
+// expand to nothing and the wrappers degrade to exactly the std types
+// they hold — zero overhead, zero behavior change.
+//
+// Discipline conventions for this codebase:
+//   * state and its mutex live side by side; the declaration order is
+//     mutex first, then the members it guards, each PARCT_GUARDED_BY;
+//   * condition waits are explicit `while (!cond()) cv.wait(lk);` loops
+//     over PARCT_REQUIRES-annotated predicate methods — never predicate
+//     lambdas, which the analysis treats as unannotated functions and
+//     would flag for touching guarded state;
+//   * public entry points that take a lock internally are annotated
+//     PARCT_EXCLUDES(mu) so a re-entrant call from a REQUIRES(mu) context
+//     becomes a compile error (self-deadlock caught statically);
+//   * deliberately unchecked accesses (quiescent single-threaded phases)
+//     carry PARCT_NO_THREAD_SAFETY_ANALYSIS *on the narrowest function
+//     possible*, with a comment giving the argument.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Attribute macros. Clang-only: GCC's __attribute__ namespace does not
+// implement the thread-safety attributes (it warns "attribute ignored"),
+// so everything is compiled away there and the analysis runs in the
+// dedicated Clang CI job.
+#if defined(__clang__)
+#define PARCT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PARCT_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a capability (lockable). Applied to class
+/// declarations: `class PARCT_CAPABILITY("mutex") Mutex { ... };`.
+#define PARCT_CAPABILITY(x) PARCT_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define PARCT_SCOPED_CAPABILITY PARCT_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read or written while holding the named capability.
+#define PARCT_GUARDED_BY(x) PARCT_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* may only be dereferenced while holding
+/// the named capability (the pointer itself is unguarded).
+#define PARCT_PT_GUARDED_BY(x) PARCT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capabilities to be held on entry (and does not
+/// release them).
+#define PARCT_REQUIRES(...) \
+  PARCT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capabilities and holds them on return.
+#define PARCT_ACQUIRE(...) \
+  PARCT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capabilities (which must be held on entry).
+#define PARCT_RELEASE(...) \
+  PARCT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capabilities (the function acquires them
+/// itself — catches self-deadlock at compile time).
+#define PARCT_EXCLUDES(...) PARCT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Documents (and, under -Wthread-safety-beta, checks) a global
+/// acquisition order between two capabilities.
+#define PARCT_ACQUIRED_BEFORE(...) \
+  PARCT_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define PARCT_ACQUIRED_AFTER(...) \
+  PARCT_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define PARCT_RETURN_CAPABILITY(x) PARCT_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the function's accesses are deliberately not analyzed.
+/// Every use carries a comment explaining why the unchecked access is
+/// sound (typically: a quiescent phase where no other thread can hold a
+/// reference, e.g. post-join accessors).
+#define PARCT_NO_THREAD_SAFETY_ANALYSIS \
+  PARCT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace parct {
+
+class CondVar;
+
+/// std::mutex with the capability attribute: the analysis can now track
+/// which members are guarded by which instance.
+class PARCT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PARCT_ACQUIRE() { mu_.lock(); }
+  void unlock() PARCT_RELEASE() { mu_.unlock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII scoped acquisition of a parct::Mutex — the annotated replacement
+/// for both std::lock_guard and std::unique_lock in this codebase. Holds
+/// the lock for its full scope (no early unlock: every current user
+/// releases by scope exit, and a narrower contract keeps the analysis
+/// exact). Condition waits go through parct::CondVar, which releases and
+/// reacquires internally — the capability is held again whenever control
+/// is back in the caller, so the static picture stays truthful.
+class PARCT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PARCT_ACQUIRE(mu) : lk_(mu.mu_) {}
+  ~MutexLock() PARCT_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::condition_variable over parct::Mutex. Waits take the open
+/// MutexLock; use explicit re-check loops over PARCT_REQUIRES-annotated
+/// predicates (see the header comment) rather than predicate lambdas.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases lk's mutex, blocks, reacquires before returning.
+  void wait(MutexLock& lk) { cv_.wait(lk.lk_); }
+
+  /// wait(), but returns std::cv_status::timeout if `deadline` passes
+  /// first. The mutex is reacquired before returning either way.
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lk, const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lk.lk_, deadline);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace parct

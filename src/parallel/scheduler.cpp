@@ -2,10 +2,8 @@
 
 #include <atomic>
 #include <cerrno>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -13,6 +11,7 @@
 #include <vector>
 
 #include "fault/fault_injection.hpp"
+#include "parallel/capability.hpp"
 #include "hashing/splitmix64.hpp"
 #include "parallel/chase_lev_deque.hpp"
 #include "primitives/workspace.hpp"
@@ -55,8 +54,11 @@ struct Pool {
   std::atomic<std::uint64_t> work_signal{0};
   std::atomic<int> sleepers{0};
   std::atomic<std::uint64_t> wakeups{0};
-  std::mutex mu;
-  std::condition_variable cv;
+  // mu guards no data: it exists only for cv's wait protocol. The wake
+  // condition is carried by the atomics above (work_signal/shutting_down),
+  // re-checked in worker_loop's explicit wait loop.
+  Mutex mu;
+  CondVar cv;
 
   unsigned size() const { return static_cast<unsigned>(workers.size()); }
 };
@@ -65,7 +67,7 @@ struct Pool {
 // from any thread is race-free; g_lifecycle_mu serializes
 // initialize/shutdown themselves.
 std::atomic<Pool*> g_pool{nullptr};
-std::mutex g_lifecycle_mu;
+Mutex g_lifecycle_mu;
 
 // tl_pool tags which pool tl_worker_id belongs to: after a re-initialize,
 // surviving threads carry ids from the old pool, and self_id() must not
@@ -157,11 +159,11 @@ void worker_loop(Pool* pool, unsigned id) {
     }
     self.parks.fetch_add(1, std::memory_order_relaxed);
     {
-      std::unique_lock<std::mutex> lk(pool->mu);
-      pool->cv.wait(lk, [&] {
-        return pool->shutting_down.load(std::memory_order_acquire) ||
-               pool->work_signal.load(std::memory_order_seq_cst) != sig;
-      });
+      MutexLock lk(pool->mu);
+      while (!(pool->shutting_down.load(std::memory_order_acquire) ||
+               pool->work_signal.load(std::memory_order_seq_cst) != sig)) {
+        pool->cv.wait(lk);
+      }
     }
     pool->sleepers.fetch_sub(1, std::memory_order_seq_cst);
   }
@@ -172,7 +174,7 @@ void wake_sleepers(Pool& pool) {
   par::detail::fence(std::memory_order_seq_cst);
   if (pool.sleepers.load(std::memory_order_seq_cst) > 0) {
     pool.wakeups.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lk(pool.mu);
+    MutexLock lk(pool.mu);
     pool.cv.notify_all();
   }
 }
@@ -181,7 +183,7 @@ void destroy_pool(Pool* pool) {
   if (pool == nullptr) return;
   pool->shutting_down.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lk(pool->mu);
+    MutexLock lk(pool->mu);
     pool->cv.notify_all();
   }
   for (auto& t : pool->threads) t.join();
@@ -214,7 +216,7 @@ unsigned default_worker_count() {
 
 struct PoolGuard {
   ~PoolGuard() {
-    std::lock_guard<std::mutex> lk(g_lifecycle_mu);
+    MutexLock lk(g_lifecycle_mu);
     destroy_pool(g_pool.exchange(nullptr, std::memory_order_acq_rel));
   }
 } g_pool_guard;
@@ -245,7 +247,7 @@ void initialize(unsigned num_workers, std::uint64_t steal_seed) {
         "parct: scheduler::initialize(n) with a new configuration called "
         "from inside a parallel region");
   }
-  std::lock_guard<std::mutex> lk(g_lifecycle_mu);
+  MutexLock lk(g_lifecycle_mu);
   if (matches(g_pool.load(std::memory_order_acquire))) return;
   destroy_pool(g_pool.exchange(nullptr, std::memory_order_acq_rel));
   Pool* next = new Pool(num_workers, steal_seed);
@@ -262,7 +264,7 @@ void shutdown() {
     throw std::logic_error(
         "parct: scheduler::shutdown() called from inside a parallel region");
   }
-  std::lock_guard<std::mutex> lk(g_lifecycle_mu);
+  MutexLock lk(g_lifecycle_mu);
   destroy_pool(g_pool.exchange(nullptr, std::memory_order_acq_rel));
 }
 

@@ -24,6 +24,8 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/annotations.hpp"
+#include "analysis/shadow_keys.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rc/path_aggregate.hpp"
 #include "rc/rc_forest.hpp"
@@ -47,7 +49,9 @@ template <typename View>
 std::vector<VertexId> batch_roots(const View& view,
                                   const std::vector<VertexId>& queries) {
   std::vector<VertexId> out(queries.size());
+  PARCT_SHADOW_BUFFER(out_buf);
   par::parallel_for(0, queries.size(), [&](std::size_t i) {
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(out_buf, i));
     const VertexId v = queries[i];
     assert(detail::valid_query(view, v) &&
            "batch_roots: out-of-range or absent vertex id");
@@ -63,11 +67,13 @@ std::vector<std::uint8_t> batch_connected(
     const View& view,
     const std::vector<std::pair<VertexId, VertexId>>& pairs) {
   std::vector<std::uint8_t> out(pairs.size());
+  PARCT_SHADOW_BUFFER(out_buf);
   par::parallel_for(0, pairs.size(), [&](std::size_t i) {
     const VertexId u = pairs[i].first;
     const VertexId v = pairs[i].second;
     assert(detail::valid_query(view, u) && detail::valid_query(view, v) &&
            "batch_connected: out-of-range or absent vertex id");
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(out_buf, i));
     out[i] = detail::valid_query(view, u) && detail::valid_query(view, v) &&
                      view.root(u) == view.root(v)
                  ? 1
@@ -86,7 +92,9 @@ std::vector<T> batch_tree_weights(const RCForest& rcf,
   assert(&agg.forest() == &rcf &&
          "batch_tree_weights: aggregate is bound to a different RCForest");
   std::vector<T> out(queries.size());
+  PARCT_SHADOW_BUFFER(out_buf);
   par::parallel_for(0, queries.size(), [&](std::size_t i) {
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(out_buf, i));
     const VertexId v = queries[i];
     assert(detail::valid_query(rcf, v) &&
            "batch_tree_weights: out-of-range or absent vertex id");
@@ -102,7 +110,9 @@ std::vector<T> batch_paths_to_root(const PathAggregate<T, Combine>& agg,
                                    const std::vector<VertexId>& queries) {
   const contract::ContractionForest& c = agg.structure();
   std::vector<T> out(queries.size());
+  PARCT_SHADOW_BUFFER(out_buf);
   par::parallel_for(0, queries.size(), [&](std::size_t i) {
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(out_buf, i));
     const VertexId v = queries[i];
     const bool valid = v < c.capacity() && c.duration(v) > 0;
     assert(valid && "batch_paths_to_root: out-of-range or absent vertex id");

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "analysis/annotations.hpp"
+#include "analysis/shadow_keys.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace parct::rc {
@@ -40,9 +42,20 @@ void RCForest::derive(VertexId v) {
 void RCForest::rebuild() {
   events_.assign(c_.capacity(), Event{});
   par::parallel_for(0, c_.capacity(), [&](std::size_t v) {
+    // derive() writes exactly events_[v]; v is distinct per iteration, so
+    // the detector proves the fan-out disjoint.
+    PARCT_SHADOW_WRITE(
+        analysis::scratch_cell(analysis::ShadowArray::kRCEvents, v));
     derive(static_cast<VertexId>(v));
   });
 }
+
+// refresh() is deliberately NOT shadow-annotated (see
+// tools/shadow_coverage_allowlist.txt): touched-vertex lists may repeat a
+// vertex across rounds of one update, so two iterations can write the
+// same events_[v] cell. The writes are idempotent (derive is a pure
+// function of the current records), but the SP-bags detector has no
+// idempotence notion and would report the duplicate as a race.
 
 void RCForest::refresh(const std::vector<VertexId>& vertices) {
   if (c_.capacity() > events_.size()) {

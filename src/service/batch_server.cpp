@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "analysis/annotations.hpp"
+#include "analysis/shadow_keys.hpp"
 #include "contraction/telemetry.hpp"
 #include "fault/fault_injection.hpp"
 #include "parallel/parallel_for.hpp"
@@ -57,29 +59,25 @@ std::future<QueryResult> BatchServer::enqueue_queries(QueryBatch q,
   std::promise<QueryResult> p;
   std::future<QueryResult> fut = p.get_future();
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (stopping_) {
       throw ServerStopped("BatchServer: submit_queries after stop()");
     }
-    if (query_queue_.size() >= cfg_.max_pending_query_batches) {
-      {
-        std::lock_guard<std::mutex> slk(stats_mu_);
-        ++stats_.backpressure_waits;
-      }
-      auto space = [&] {
-        return stopping_ ||
-               query_queue_.size() < cfg_.max_pending_query_batches;
-      };
-      if (deadline) {
-        if (!cv_space_.wait_until(lk, *deadline, space)) {
-          std::lock_guard<std::mutex> slk(stats_mu_);
-          ++stats_.deadline_rejections;
-          p.set_exception(std::make_exception_ptr(DeadlineExceeded(
-              "BatchServer: admission deadline expired (query queue full)")));
-          return fut;
+    if (!query_space_free()) {
+      note_backpressure_wait();
+      while (!stopping_ && !query_space_free()) {
+        if (deadline) {
+          if (cv_space_.wait_until(lk, *deadline) == std::cv_status::timeout &&
+              !stopping_ && !query_space_free()) {
+            note_deadline_rejection();
+            p.set_exception(std::make_exception_ptr(DeadlineExceeded(
+                "BatchServer: admission deadline expired (query queue "
+                "full)")));
+            return fut;
+          }
+        } else {
+          cv_space_.wait(lk);
         }
-      } else {
-        cv_space_.wait(lk, space);
       }
       if (stopping_) {
         p.set_exception(std::make_exception_ptr(ServerStopped(
@@ -90,17 +88,13 @@ std::future<QueryResult> BatchServer::enqueue_queries(QueryBatch q,
     // Fault site: admission-control drop. The future rejects cleanly; the
     // request never enters the queue.
     if (PARCT_FAULT_POINT(fault::Site::kQueueAdmission)) {
-      std::lock_guard<std::mutex> slk(stats_mu_);
-      ++stats_.admission_drops;
+      note_admission_drop();
       p.set_exception(std::make_exception_ptr(AdmissionDropped(
           "BatchServer: query batch dropped at queue admission")));
       return fut;
     }
-    query_queue_.push_back(
-        PendingQuery{std::move(q), std::move(p), deadline});
-    std::lock_guard<std::mutex> slk(stats_mu_);
-    stats_.max_query_queue_depth = std::max<std::uint64_t>(
-        stats_.max_query_queue_depth, query_queue_.size());
+    query_queue_.emplace_back(std::move(q), std::move(p), deadline);
+    note_query_depth(query_queue_.size());
   }
   cv_work_.notify_all();
   return fut;
@@ -111,28 +105,25 @@ std::future<UpdateResult> BatchServer::enqueue_update(UpdateRequest u,
   std::promise<UpdateResult> p;
   std::future<UpdateResult> fut = p.get_future();
   {
-    std::unique_lock<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (stopping_) {
       throw ServerStopped("BatchServer: submit_update after stop()");
     }
-    if (update_queue_.size() >= cfg_.max_pending_updates) {
-      {
-        std::lock_guard<std::mutex> slk(stats_mu_);
-        ++stats_.backpressure_waits;
-      }
-      auto space = [&] {
-        return stopping_ || update_queue_.size() < cfg_.max_pending_updates;
-      };
-      if (deadline) {
-        if (!cv_space_.wait_until(lk, *deadline, space)) {
-          std::lock_guard<std::mutex> slk(stats_mu_);
-          ++stats_.deadline_rejections;
-          p.set_exception(std::make_exception_ptr(DeadlineExceeded(
-              "BatchServer: admission deadline expired (update queue full)")));
-          return fut;
+    if (!update_space_free()) {
+      note_backpressure_wait();
+      while (!stopping_ && !update_space_free()) {
+        if (deadline) {
+          if (cv_space_.wait_until(lk, *deadline) == std::cv_status::timeout &&
+              !stopping_ && !update_space_free()) {
+            note_deadline_rejection();
+            p.set_exception(std::make_exception_ptr(DeadlineExceeded(
+                "BatchServer: admission deadline expired (update queue "
+                "full)")));
+            return fut;
+          }
+        } else {
+          cv_space_.wait(lk);
         }
-      } else {
-        cv_space_.wait(lk, space);
       }
       if (stopping_) {
         p.set_exception(std::make_exception_ptr(ServerStopped(
@@ -141,24 +132,47 @@ std::future<UpdateResult> BatchServer::enqueue_update(UpdateRequest u,
       }
     }
     if (PARCT_FAULT_POINT(fault::Site::kQueueAdmission)) {
-      std::lock_guard<std::mutex> slk(stats_mu_);
-      ++stats_.admission_drops;
+      note_admission_drop();
       p.set_exception(std::make_exception_ptr(AdmissionDropped(
           "BatchServer: update dropped at queue admission")));
       return fut;
     }
-    update_queue_.push_back(
-        PendingUpdate{std::move(u), std::move(p), deadline});
-    std::lock_guard<std::mutex> slk(stats_mu_);
-    stats_.max_update_queue_depth = std::max<std::uint64_t>(
-        stats_.max_update_queue_depth, update_queue_.size());
+    update_queue_.emplace_back(std::move(u), std::move(p), deadline);
+    note_update_depth(update_queue_.size());
   }
   cv_work_.notify_all();
   return fut;
 }
 
+void BatchServer::note_backpressure_wait() {
+  MutexLock slk(stats_mu_);
+  ++stats_.backpressure_waits;
+}
+
+void BatchServer::note_deadline_rejection() {
+  MutexLock slk(stats_mu_);
+  ++stats_.deadline_rejections;
+}
+
+void BatchServer::note_admission_drop() {
+  MutexLock slk(stats_mu_);
+  ++stats_.admission_drops;
+}
+
+void BatchServer::note_query_depth(std::size_t depth) {
+  MutexLock slk(stats_mu_);
+  stats_.max_query_queue_depth =
+      std::max<std::uint64_t>(stats_.max_query_queue_depth, depth);
+}
+
+void BatchServer::note_update_depth(std::size_t depth) {
+  MutexLock slk(stats_mu_);
+  stats_.max_update_queue_depth =
+      std::max<std::uint64_t>(stats_.max_update_queue_depth, depth);
+}
+
 void BatchServer::start() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (started_) return;
   if (stopping_) {
     throw std::runtime_error("BatchServer: start() after stop()");
@@ -171,15 +185,23 @@ void BatchServer::start() {
 }
 
 void BatchServer::stop() {
+  // Take the engine handle out under the lock, join outside it. engine_ is
+  // written by start() under mu_, so the old unguarded joinable()/join()
+  // here raced a concurrent start() — and two concurrent stop()s could
+  // both pass the joinable() check and double-join. Moving the handle
+  // gives exactly one caller ownership of the join.
+  // parct-lint: allow(raw-thread) reason: joining the engine thread handle
+  std::thread engine;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stopping_ = true;
+    engine = std::move(engine_);
   }
   // Wake the engine (to drain and exit) and every submitter parked on a
   // full admission queue (their futures reject with ServerStopped).
   cv_work_.notify_all();
   cv_space_.notify_all();
-  if (engine_.joinable()) engine_.join();
+  if (engine.joinable()) engine.join();
   // A started engine drained both queues before exiting; in step() mode
   // (no engine) admitted requests may still be queued. Reject them with a
   // documented error instead of letting their promises break on
@@ -187,7 +209,7 @@ void BatchServer::stop() {
   std::deque<PendingQuery> qs;
   std::deque<PendingUpdate> us;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     qs.swap(query_queue_);
     us.swap(update_queue_);
   }
@@ -201,6 +223,22 @@ void BatchServer::stop() {
   }
 }
 
+void BatchServer::take_epoch(std::vector<PendingQuery>& queries,
+                             std::optional<PendingUpdate>& update,
+                             std::size_t& qdepth, std::size_t& udepth) {
+  qdepth = query_queue_.size();
+  udepth = update_queue_.size();
+  queries.reserve(qdepth);
+  while (!query_queue_.empty()) {
+    queries.push_back(std::move(query_queue_.front()));
+    query_queue_.pop_front();
+  }
+  if (!update_queue_.empty()) {
+    update.emplace(std::move(update_queue_.front()));
+    update_queue_.pop_front();
+  }
+}
+
 void BatchServer::engine_loop() {
   for (;;) {
     std::vector<PendingQuery> queries;
@@ -208,23 +246,11 @@ void BatchServer::engine_loop() {
     std::size_t qdepth = 0;
     std::size_t udepth = 0;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_work_.wait(lk, [&] {
-        return stopping_ || !query_queue_.empty() || !update_queue_.empty();
-      });
+      MutexLock lk(mu_);
+      while (!stopping_ && !work_pending()) cv_work_.wait(lk);
       // stop() drains: keep processing admitted work, exit once empty.
-      if (query_queue_.empty() && update_queue_.empty()) break;
-      qdepth = query_queue_.size();
-      udepth = update_queue_.size();
-      queries.reserve(qdepth);
-      while (!query_queue_.empty()) {
-        queries.push_back(std::move(query_queue_.front()));
-        query_queue_.pop_front();
-      }
-      if (!update_queue_.empty()) {
-        update.emplace(std::move(update_queue_.front()));
-        update_queue_.pop_front();
-      }
+      if (!work_pending()) break;
+      take_epoch(queries, update, qdepth, udepth);
     }
     cv_space_.notify_all();
     process_epoch(std::move(queries), std::move(update), qdepth, udepth,
@@ -238,19 +264,9 @@ bool BatchServer::step() {
   std::size_t qdepth = 0;
   std::size_t udepth = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
-    qdepth = query_queue_.size();
-    udepth = update_queue_.size();
-    if (qdepth == 0 && udepth == 0) return false;
-    queries.reserve(qdepth);
-    while (!query_queue_.empty()) {
-      queries.push_back(std::move(query_queue_.front()));
-      query_queue_.pop_front();
-    }
-    if (!update_queue_.empty()) {
-      update.emplace(std::move(update_queue_.front()));
-      update_queue_.pop_front();
-    }
+    MutexLock lk(mu_);
+    if (!work_pending()) return false;
+    take_epoch(queries, update, qdepth, udepth);
   }
   cv_space_.notify_all();
   return process_epoch(std::move(queries), std::move(update), qdepth, udepth,
@@ -264,17 +280,26 @@ QueryResult BatchServer::answer(const QueryBatch& q,
   // mutating (tools/lint_parallel.py enforces this for service sources).
   QueryResult r;
   r.version = snap.version;
+  // Each fan-out writes result cell i exactly once; the per-call nonces
+  // keep the three result vectors (and reuses across calls) distinct in
+  // the SP-bags shadow map, so the race detector proves the disjointness.
+  PARCT_SHADOW_BUFFER(roots_buf);
+  PARCT_SHADOW_BUFFER(connected_buf);
+  PARCT_SHADOW_BUFFER(weights_buf);
   r.roots.resize(q.roots.size());
   par::parallel_for(0, q.roots.size(), [&](std::size_t i) {
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(roots_buf, i));
     r.roots[i] = snap.root(q.roots[i]);
   });
   r.connected.resize(q.connected.size());
   par::parallel_for(0, q.connected.size(), [&](std::size_t i) {
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(connected_buf, i));
     r.connected[i] =
         snap.connected(q.connected[i].first, q.connected[i].second) ? 1 : 0;
   });
   r.tree_weights.resize(q.tree_weights.size());
   par::parallel_for(0, q.tree_weights.size(), [&](std::size_t i) {
+    PARCT_SHADOW_WRITE(analysis::buffer_cell(weights_buf, i));
     r.tree_weights[i] = snap.tree_weight(q.tree_weights[i]);
   });
   return r;
@@ -480,7 +505,7 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
   const double epoch_secs = contract::stats_since(t_epoch);
 
   {
-    std::lock_guard<std::mutex> slk(stats_mu_);
+    MutexLock slk(stats_mu_);
     ++stats_.epochs;
     if (overlapped) ++stats_.overlapped_epochs;
     if (degraded) ++stats_.degraded_epochs;
@@ -524,7 +549,7 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
 ServiceStats BatchServer::stats() const {
   ServiceStats s;
   {
-    std::lock_guard<std::mutex> slk(stats_mu_);
+    MutexLock slk(stats_mu_);
     s = stats_;
   }
   s.snapshots_published = store_.published();

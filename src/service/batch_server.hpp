@@ -34,11 +34,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -50,6 +48,7 @@
 #include "contraction/hooks.hpp"
 #include "forest/change_set.hpp"
 #include "forest/forest.hpp"
+#include "parallel/capability.hpp"
 #include "rc/rc_forest.hpp"
 #include "rc/tree_aggregate.hpp"
 #include "service/snapshot.hpp"
@@ -232,13 +231,15 @@ class BatchServer {
   /// epoch that serves the batch — or with ServerStopped if stop() arrives
   /// while the submitter is parked on a full queue (the future is
   /// rejected, never left dangling).
-  std::future<QueryResult> submit_queries(QueryBatch q);
+  std::future<QueryResult> submit_queries(QueryBatch q)
+      PARCT_EXCLUDES(mu_, stats_mu_);
 
   /// Thread-safe. Blocks while the update queue is full. Updates are
   /// applied in submission order; the future resolves after the produced
   /// version is published (read-your-writes: snapshot() then observes it).
   /// Rejected with ServerStopped if stop() arrives while parked.
-  std::future<UpdateResult> submit_update(UpdateRequest u);
+  std::future<UpdateResult> submit_update(UpdateRequest u)
+      PARCT_EXCLUDES(mu_, stats_mu_);
 
   /// Deadline-carrying variants: wait at most `timeout` for admission
   /// (rejecting the future with DeadlineExceeded on expiry), and carry the
@@ -246,9 +247,11 @@ class BatchServer {
   /// its epoch starts is rejected with DeadlineExceeded instead of being
   /// served stale. Thread-safe; never blocks past the deadline.
   std::future<QueryResult> submit_queries_for(
-      QueryBatch q, std::chrono::steady_clock::duration timeout);
+      QueryBatch q, std::chrono::steady_clock::duration timeout)
+      PARCT_EXCLUDES(mu_, stats_mu_);
   std::future<UpdateResult> submit_update_for(
-      UpdateRequest u, std::chrono::steady_clock::duration timeout);
+      UpdateRequest u, std::chrono::steady_clock::duration timeout)
+      PARCT_EXCLUDES(mu_, stats_mu_);
 
   /// Spawns the epoch engine thread. stop() drains both queues, processes
   /// everything still admitted, then joins; the destructor calls stop().
@@ -257,15 +260,15 @@ class BatchServer {
   /// no engine is running to drain them (step() mode), rejects all
   /// still-queued requests with ServerStopped — no future survives stop()
   /// unresolved.
-  void start();
-  void stop();
+  void start() PARCT_EXCLUDES(mu_);
+  void stop() PARCT_EXCLUDES(mu_);
 
   /// Processes one epoch inline on the calling thread (all pending query
   /// batches + at most one update), without the engine thread and without
   /// overlap — deterministic, single-threaded epoch semantics for tests
   /// (including SP-bags race-detector sessions). Returns false if there
   /// was nothing to do. Never mix with a start()ed engine.
-  bool step();
+  bool step() PARCT_EXCLUDES(mu_, stats_mu_);
 
   /// Degraded serial-fallback mode (any thread). Marking the pool
   /// unhealthy makes every subsequent epoch run under a
@@ -287,7 +290,7 @@ class BatchServer {
   /// Version produced by the most recently published update epoch.
   std::uint64_t version() const { return store_.version(); }
 
-  ServiceStats stats() const;
+  ServiceStats stats() const PARCT_EXCLUDES(stats_mu_);
 
  private:
   using Deadline = std::optional<std::chrono::steady_clock::time_point>;
@@ -303,14 +306,46 @@ class BatchServer {
     Deadline deadline;
   };
 
-  std::future<QueryResult> enqueue_queries(QueryBatch q, Deadline deadline);
-  std::future<UpdateResult> enqueue_update(UpdateRequest u, Deadline deadline);
+  std::future<QueryResult> enqueue_queries(QueryBatch q, Deadline deadline)
+      PARCT_EXCLUDES(mu_, stats_mu_);
+  std::future<UpdateResult> enqueue_update(UpdateRequest u, Deadline deadline)
+      PARCT_EXCLUDES(mu_, stats_mu_);
 
-  void engine_loop();
+  // Wait predicates for the admission backpressure loops — explicit
+  // REQUIRES(mu_) methods, never predicate lambdas (the analysis treats a
+  // lambda as an unannotated function and would flag its guarded reads).
+  bool query_space_free() const PARCT_REQUIRES(mu_) {
+    return query_queue_.size() < cfg_.max_pending_query_batches;
+  }
+  bool update_space_free() const PARCT_REQUIRES(mu_) {
+    return update_queue_.size() < cfg_.max_pending_updates;
+  }
+  bool work_pending() const PARCT_REQUIRES(mu_) {
+    return !query_queue_.empty() || !update_queue_.empty();
+  }
+
+  /// Drains every pending query batch plus at most one update into an
+  /// epoch (shared by engine_loop and step; both record the pre-drain
+  /// queue depths for telemetry).
+  void take_epoch(std::vector<PendingQuery>& queries,
+                  std::optional<PendingUpdate>& update, std::size_t& qdepth,
+                  std::size_t& udepth) PARCT_REQUIRES(mu_);
+
+  // Admission-path stats bumps. stats_mu_ nests inside mu_ here (the
+  // documented mu_ -> stats_mu_ order); keeping the inner acquisition in
+  // these helpers keeps every stats_mu_ critical section tiny and visibly
+  // leaf-level.
+  void note_backpressure_wait() PARCT_EXCLUDES(stats_mu_);
+  void note_deadline_rejection() PARCT_EXCLUDES(stats_mu_);
+  void note_admission_drop() PARCT_EXCLUDES(stats_mu_);
+  void note_query_depth(std::size_t depth) PARCT_EXCLUDES(stats_mu_);
+  void note_update_depth(std::size_t depth) PARCT_EXCLUDES(stats_mu_);
+
+  void engine_loop() PARCT_EXCLUDES(mu_, stats_mu_);
   bool process_epoch(std::vector<PendingQuery> queries,
                      std::optional<PendingUpdate> update,
                      std::size_t query_depth, std::size_t update_depth,
-                     bool allow_overlap);
+                     bool allow_overlap) PARCT_EXCLUDES(mu_, stats_mu_);
   QueryResult answer(const QueryBatch& q, const Snapshot& snap) const;
   void publish_version(std::uint64_t version);
 
@@ -325,18 +360,22 @@ class BatchServer {
   bool failed_ = false;        // an apply() threw mid-flight; updates halted
   std::atomic<bool> pool_healthy_{true};
 
-  std::mutex mu_;
-  std::condition_variable cv_work_;
-  std::condition_variable cv_space_;
-  std::deque<PendingQuery> query_queue_;
-  std::deque<PendingUpdate> update_queue_;
-  bool stopping_ = false;
-  bool started_ = false;
+  Mutex mu_;
+  CondVar cv_work_;   // engine parks here; signaled on admission and stop
+  CondVar cv_space_;  // submitters park here; signaled on drain and stop
+  std::deque<PendingQuery> query_queue_ PARCT_GUARDED_BY(mu_);
+  std::deque<PendingUpdate> update_queue_ PARCT_GUARDED_BY(mu_);
+  bool stopping_ PARCT_GUARDED_BY(mu_) = false;
+  bool started_ PARCT_GUARDED_BY(mu_) = false;
+  // Guarded: start() writes the handle while a concurrent stop() must read
+  // it — stop() moves it out under mu_ and joins outside the lock.
   // parct-lint: allow(raw-thread) reason: service engine thread handle
-  std::thread engine_;
+  std::thread engine_ PARCT_GUARDED_BY(mu_);
 
-  mutable std::mutex stats_mu_;
-  ServiceStats stats_;
+  // Leaf lock for the stats block; acquired inside mu_ on the admission
+  // paths, never the other way around.
+  mutable Mutex stats_mu_ PARCT_ACQUIRED_AFTER(mu_);
+  ServiceStats stats_ PARCT_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace parct::service

@@ -18,11 +18,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "forest/types.hpp"
+#include "parallel/capability.hpp"
 #include "rc/rc_forest.hpp"
 #include "rc/tree_aggregate.hpp"
 
@@ -118,21 +118,21 @@ class SnapshotStore {
  public:
   /// Current front version pin. Never blocks publication; the handle keeps
   /// observing its version while successors are published.
-  SnapshotHandle acquire() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  SnapshotHandle acquire() const PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return SnapshotHandle(front_);
   }
 
-  std::uint64_t version() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t version() const PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return front_ ? front_->version : 0;
   }
 
   /// A mutable buffer to build the next version into: a retired
   /// double-buffer slot if no reader still pins it, else a fresh
   /// allocation (counted, so tests/benches can assert steady-state reuse).
-  std::shared_ptr<Snapshot> begin_build() {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::shared_ptr<Snapshot> begin_build() PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     for (auto& slot : ring_) {
       // use_count == 1: only the ring references it — no front_ alias, no
       // reader handles. Safe to mutate in place.
@@ -156,36 +156,41 @@ class SnapshotStore {
 
   /// Publishes `next` as the front version. Readers that already hold a
   /// handle keep their pinned version; new acquires see `next`.
-  void publish(std::shared_ptr<Snapshot> next) {
-    std::lock_guard<std::mutex> lk(mu_);
+  void publish(std::shared_ptr<Snapshot> next) PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     if (building_ == next) building_ = nullptr;
     front_ = std::shared_ptr<const Snapshot>(std::move(next));
     ++published_;
   }
 
-  std::uint64_t published() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t published() const PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return published_;
   }
-  std::uint64_t buffers_reused() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t buffers_reused() const PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return buffers_reused_;
   }
-  std::uint64_t buffers_allocated() const {
-    std::lock_guard<std::mutex> lk(mu_);
+  std::uint64_t buffers_allocated() const PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
     return buffers_allocated_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::shared_ptr<const Snapshot> front_;
+  mutable Mutex mu_;
+  // The *pointers* below are guarded; the pointees deliberately are not:
+  // front_'s Snapshot is immutable once published, and building_'s is
+  // mutated lock-free by the single builder thread that begin_build()
+  // handed it to (the free-list scan above proves no reader aliases it).
+  std::shared_ptr<const Snapshot> front_ PARCT_GUARDED_BY(mu_);
   // Double buffer: publish() aliases one slot as front_; the other slot
   // becomes recyclable as soon as the previous front's readers drain.
-  std::shared_ptr<Snapshot> ring_[2];
-  std::shared_ptr<Snapshot> building_;  // handed out, not yet published
-  std::uint64_t published_ = 0;
-  std::uint64_t buffers_reused_ = 0;
-  std::uint64_t buffers_allocated_ = 0;
+  std::shared_ptr<Snapshot> ring_[2] PARCT_GUARDED_BY(mu_);
+  // Handed out, not yet published.
+  std::shared_ptr<Snapshot> building_ PARCT_GUARDED_BY(mu_);
+  std::uint64_t published_ PARCT_GUARDED_BY(mu_) = 0;
+  std::uint64_t buffers_reused_ PARCT_GUARDED_BY(mu_) = 0;
+  std::uint64_t buffers_allocated_ PARCT_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace parct::service

@@ -26,6 +26,8 @@
 #include "primitives/pack.hpp"
 #include "primitives/scan.hpp"
 #include "primitives/workspace.hpp"
+#include "service/batch_server.hpp"
+#include "service/snapshot.hpp"
 
 namespace parct {
 namespace {
@@ -289,6 +291,72 @@ TEST_F(RaceDetectTest, HarnessWorkloadsAreRaceFree) {
     const harness::RunResult r = harness::run_trace(t, opts);
     EXPECT_TRUE(r.ok) << "seed " << seed << ": " << r.failure;
   }
+}
+
+// The serving layer under the detector: step() runs deterministic
+// single-threaded epochs designed for exactly this ("including SP-bags
+// race-detector sessions", per its contract), so a session wrapped
+// around a stepped run audits BatchServer::answer's annotated fan-outs
+// over the pinned snapshot plus a full update epoch. Must stay silent.
+TEST_F(RaceDetectTest, SteppedServiceEpochsAreRaceFree) {
+  forest::Forest f = forest::build_tree(300, 4, 0.5, 17, 0);
+  contract::ContractionForest c(f.capacity(), 4, 55);
+  contract::construct(c, f);
+  service::ServiceConfig cfg;
+  cfg.overlap_updates = false;  // step() never overlaps; keep it explicit
+  service::BatchServer server(c, cfg,
+                              std::vector<service::Weight>(f.capacity(), 1));
+
+  service::QueryBatch q;
+  for (VertexId v = 0; v < 300; v += 3) {
+    q.roots.push_back(v);
+    q.connected.push_back({v, (v + 7) % 300});
+    q.tree_weights.push_back(v);
+  }
+  auto qfut = server.submit_queries(q);
+  service::UpdateRequest u;
+  u.batch = forest::make_delete_batch(f, 16, 9);
+  auto ufut = server.submit_update(std::move(u));
+
+  Session session(OnRace::kThrow);
+  while (server.step()) {
+  }
+  const service::QueryResult r1 = qfut.get();       // answered pre-update
+  const service::UpdateResult ur = ufut.get();      // produced r1.version+1
+  auto qfut2 = server.submit_queries(q);            // served at new version
+  while (server.step()) {
+  }
+  const service::QueryResult r2 = qfut2.get();
+  EXPECT_EQ(session.races_detected(), 0u);
+  EXPECT_GT(session.cells_tracked(), 0u);
+  EXPECT_EQ(r1.roots.size(), q.roots.size());
+  EXPECT_EQ(ur.version, r1.version + 1);
+  EXPECT_EQ(r2.version, ur.version);
+}
+
+TEST_F(RaceDetectTest, PlantedSnapshotFanoutRaceIsFlagged) {
+  // The mistake answer()'s buffer_cell annotations exist to catch: a
+  // fan-out over a pinned snapshot that funnels every iteration's result
+  // into one shared cell instead of the iteration-owned slot.
+  forest::Forest f = forest::build_tree(200, 4, 0.5, 23, 0);
+  contract::ContractionForest c(f.capacity(), 4, 77);
+  contract::construct(c, f);
+  service::BatchServer server(c, {},
+                              std::vector<service::Weight>(f.capacity(), 1));
+  const service::SnapshotHandle snap = server.snapshot();
+
+  Session session(OnRace::kThrow);
+  std::vector<VertexId> out(64, kNoVertex);
+  EXPECT_THROW(
+      {
+        PARCT_SHADOW_BUFFER(buf);
+        par::parallel_for(0, out.size(), [&](std::size_t i) {
+          PARCT_SHADOW_WRITE(analysis::buffer_cell(buf, 0));
+          out[0] = snap->root(static_cast<VertexId>(i));
+        });
+      },
+      DeterminacyRace);
+  EXPECT_GE(session.races_detected(), 1u);
 }
 
 #else  // !PARCT_RACE_DETECT

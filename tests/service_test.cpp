@@ -7,6 +7,7 @@
 #include <future>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -255,6 +256,37 @@ TEST_F(ServiceTest, EngineThreadServesSubmittersEndToEnd) {
     const ServiceStats s = server.stats();
     EXPECT_EQ(s.updates_applied, ufuts.size());
     EXPECT_EQ(s.queries_served, 12u * 3u * 120u);
+  }
+}
+
+TEST_F(ServiceTest, ConcurrentStopIsSafe) {
+  // Regression (found by the thread-safety annotation pass): stop() used
+  // to read and join engine_ without holding mu_, racing the handle
+  // against start()'s write and letting two concurrent stop() calls both
+  // observe a joinable thread and double-join (std::terminate). stop()
+  // now moves the handle out under the lock, so exactly one caller joins
+  // and every other call is an idempotent no-op.
+  for (int round = 0; round < 8; ++round) {
+    contract::ContractionForest c(kN, 4, 3);
+    contract::construct(c, f_);
+    BatchServer server(c, ServiceConfig{}, std::vector<Weight>(kN, 1));
+    server.start();
+    auto fut = server.submit_queries(sample_queries(900 + round, 64));
+
+    std::vector<std::thread> stoppers;
+    stoppers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+      stoppers.emplace_back([&server] { server.stop(); });
+    }
+    for (std::thread& th : stoppers) th.join();
+
+    // The admitted batch resolved either way — served by the drain, or
+    // rejected with ServerStopped — never left dangling.
+    try {
+      (void)fut.get();
+    } catch (const ServerStopped&) {
+    }
+    EXPECT_THROW(server.submit_queries(QueryBatch{}), ServerStopped);
   }
 }
 

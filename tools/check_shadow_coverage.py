@@ -1,0 +1,389 @@
+#!/usr/bin/env python3
+"""Shadow-annotation coverage audit for the SP-bags race detector.
+
+The detector (docs/STATIC_ANALYSIS.md) only sees accesses that carry a
+PARCT_SHADOW_* annotation — an unannotated write inside a parallel region
+is invisible to it, which silently weakens every race-detect CI run. This
+tool walks the parallel regions (parallel_for / parallel_for_blocked /
+fork2join bodies) of src/ and reports indexed writes to shared arrays
+that have no PARCT_SHADOW_* annotation within the preceding window and no
+entry in tools/shadow_coverage_allowlist.txt.
+
+Analysis backends, in order of preference:
+
+  * libclang (clang.cindex), when importable AND the compile database
+    from the analysis build exists: files are lexed into real tokens, so
+    comments/strings are stripped exactly, and every src/*.cpp is
+    cross-checked against the compile database (a TU missing from the
+    build escapes all compiled-in analyses — that is itself a finding).
+  * token-level scanner (always available, pure python): regex lexing
+    with comment/string stripping. CI runs never silently weaken: the
+    fallback enforces the same rule, only with coarser lexing.
+
+Allowlist (tools/shadow_coverage_allowlist.txt): one entry per line,
+`<relpath> <identifier> <justification...>`. An entry suppresses findings
+for writes through `identifier` in that file. Every entry must carry a
+justification — the file is the reviewed record of deliberate
+instrumentation gaps (idempotent writes, disjoint-by-construction slots).
+
+Usage:
+  check_shadow_coverage.py               gate mode: exit 1 on findings
+  check_shadow_coverage.py --report      full report (annotated /
+                                         allowlisted / unannotated), for
+                                         the CI artifact; always exit 0
+  check_shadow_coverage.py --self-test   run the built-in fixtures
+
+Exit status: 0 clean (or --report/--self-test pass), 1 findings or
+self-test failure, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+ALLOWLIST_PATH = REPO / "tools" / "shadow_coverage_allowlist.txt"
+
+# A parallel region opens at a call to one of these; the body is every
+# line until the brace depth returns to the call's depth.
+PARALLEL_CALL = re.compile(r"\b(parallel_for(_blocked)?|fork2join)\s*\(")
+
+# An indexed write through an identifier: `name[i] =`, `name[v][r] +=`, …
+# (one or more subscripts, then an assignment that is not `==`).
+INDEXED_WRITE = re.compile(
+    r"\b(?P<name>[A-Za-z_]\w*)\s*(\[[^\]]*\])+\s*(=(?!=)|\+=|-=|\*=|/=|"
+    r"\|=|&=|\^=|<<=|>>=)"
+)
+
+# Any detector annotation satisfies the rule for writes in its window
+# (the record-level macros cover whole RoundRecords, not single cells).
+SHADOW_ANNOTATION = re.compile(r"\bPARCT_SHADOW_\w+\s*\(")
+
+# Lines within this many lines above a write may carry its annotation
+# (mirrors the shadow-write lint in lint_parallel.py).
+WINDOW = 4
+
+
+def strip_comments_and_strings(text: str) -> list[str]:
+    """Regex lexer fallback: blanks comments/strings, preserves lines."""
+    out = []
+    in_block = False
+    for line in text.splitlines():
+        line = re.sub(r'"(\\.|[^"\\])*"', '""', line)
+        line = re.sub(r"'(\\.|[^'\\])*'", "''", line)
+        if in_block:
+            if "*/" in line:
+                line = line.split("*/", 1)[1]
+                in_block = False
+            else:
+                out.append("")
+                continue
+        line = re.sub(r"/\*.*?\*/", "", line)
+        if "/*" in line:
+            line = line.split("/*", 1)[0]
+            in_block = True
+        out.append(line.split("//")[0])
+    return out
+
+
+def libclang_lex(path: Path):
+    """Lex with libclang when available; None on any failure (the caller
+    falls back to the regex lexer — never silently skips the file)."""
+    try:
+        from clang import cindex  # type: ignore
+
+        index = cindex.Index.create()
+        tu = index.parse(
+            str(path), args=["-std=c++20", f"-I{REPO / 'src'}"],
+            options=cindex.TranslationUnit.PARSE_SKIP_FUNCTION_BODIES * 0,
+        )
+        n_lines = path.read_text(encoding="utf-8").count("\n") + 1
+        lines = [""] * (n_lines + 1)
+        for tok in tu.get_tokens(extent=tu.cursor.extent):
+            if tok.kind.name in ("COMMENT", "LITERAL") and '"' in tok.spelling:
+                continue
+            if tok.kind.name == "COMMENT":
+                continue
+            ln = tok.location.line
+            if 1 <= ln <= n_lines:
+                lines[ln] += tok.spelling + " "
+        return lines[1:]
+    except Exception:  # noqa: BLE001 — any libclang failure => fallback
+        return None
+
+
+def load_allowlist() -> dict[tuple[str, str], str]:
+    entries: dict[tuple[str, str], str] = {}
+    if not ALLOWLIST_PATH.exists():
+        return entries
+    for raw in ALLOWLIST_PATH.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) < 3:
+            print(
+                f"shadow_coverage_allowlist.txt: malformed entry (need "
+                f"'<relpath> <identifier> <justification>'): {line!r}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        entries[(parts[0], parts[1])] = parts[2]
+    return entries
+
+
+def scan_file(
+    path: Path, rel: str, use_libclang: bool
+) -> list[tuple[int, str, str]]:
+    """Returns (line, identifier, code) for every indexed write inside a
+    parallel region with no shadow annotation in its window."""
+    text = path.read_text(encoding="utf-8")
+    lines = None
+    if use_libclang:
+        lines = libclang_lex(path)
+    if lines is None:
+        lines = strip_comments_and_strings(text)
+    raw_lines = text.splitlines()
+
+    findings: list[tuple[int, str, str]] = []
+    depth = 0
+    region_stack: list[int] = []  # brace depth at each parallel call
+    for idx, code in enumerate(lines):
+        if PARALLEL_CALL.search(code):
+            region_stack.append(depth)
+        in_region = bool(region_stack) and (
+            depth > region_stack[-1] or "{" in code
+        )
+        if in_region:
+            m = INDEXED_WRITE.search(code)
+            if m:
+                window = lines[max(0, idx - WINDOW) : idx + 1]
+                if not any(SHADOW_ANNOTATION.search(w) for w in window):
+                    findings.append(
+                        (idx + 1, m.group("name"), raw_lines[idx].strip())
+                    )
+        depth += code.count("{") - code.count("}")
+        while region_stack and depth <= region_stack[-1] and ");" in code:
+            region_stack.pop()
+        while region_stack and depth < region_stack[-1]:
+            region_stack.pop()
+    return findings
+
+
+def compile_db_tus() -> set[str] | None:
+    """Relpaths of src/ TUs in the analysis compile database, if any."""
+    for db_dir in (REPO / "build-analysis", REPO / "build"):
+        db = db_dir / "compile_commands.json"
+        if db.exists():
+            try:
+                tus = set()
+                for entry in json.loads(db.read_text(encoding="utf-8")):
+                    p = Path(entry["file"])
+                    if not p.is_absolute():
+                        p = Path(entry["directory"]) / p
+                    try:
+                        tus.add(p.resolve().relative_to(REPO).as_posix())
+                    except ValueError:
+                        continue
+                return tus
+            except (json.JSONDecodeError, KeyError, OSError):
+                return None
+    return None
+
+
+def run(report: bool) -> int:
+    allowlist = load_allowlist()
+    try:
+        import clang.cindex  # type: ignore  # noqa: F401
+
+        use_libclang = True
+        backend = "libclang"
+    except ImportError:
+        use_libclang = False
+        backend = "token-scanner"
+
+    files = sorted(
+        p
+        for p in (REPO / "src").rglob("*")
+        if p.suffix in {".cpp", ".hpp"}
+    )
+    tus = compile_db_tus()
+
+    unannotated: list[str] = []
+    allowlisted: list[str] = []
+    used_entries: set[tuple[str, str]] = set()
+    for path in files:
+        rel = path.relative_to(REPO).as_posix()
+        for line, name, code in scan_file(path, rel, use_libclang):
+            key = (rel, name)
+            if key in allowlist:
+                used_entries.add(key)
+                allowlisted.append(
+                    f"{rel}:{line}: {name} — allowlisted: {allowlist[key]}"
+                )
+            else:
+                unannotated.append(
+                    f"{rel}:{line}: unannotated write to '{name}' in a "
+                    f"parallel region: {code}"
+                )
+
+    # A src/ TU absent from the compile database is compiled by nothing —
+    # it would escape the thread-safety gate and the sanitizer builds too.
+    if tus is not None:
+        for path in files:
+            rel = path.relative_to(REPO).as_posix()
+            if path.suffix == ".cpp" and rel not in tus:
+                unannotated.append(
+                    f"{rel}: not in the compile database — this TU is not "
+                    f"built, so no compiled-in analysis covers it"
+                )
+
+    if report:
+        print(f"shadow-coverage report (backend: {backend})")
+        print(f"  files scanned: {len(files)}")
+        print(f"  unannotated:   {len(unannotated)}")
+        for f in unannotated:
+            print(f"    {f}")
+        print(f"  allowlisted:   {len(allowlisted)}")
+        for f in allowlisted:
+            print(f"    {f}")
+        unused = set(allowlist) - used_entries
+        if unused:
+            print(f"  allowlist entries with no matching write: {len(unused)}")
+            for rel, name in sorted(unused):
+                print(
+                    f"    {rel} {name} (covered only by deeper analysis, "
+                    f"or stale)"
+                )
+        return 0
+
+    for f in unannotated:
+        print(f)
+    if unannotated:
+        print(
+            f"check_shadow_coverage.py ({backend}): "
+            f"{len(unannotated)} unannotated write(s) — add a PARCT_SHADOW_* "
+            f"annotation or an allowlist entry with justification"
+        )
+        return 1
+    print(
+        f"check_shadow_coverage.py ({backend}): clean "
+        f"({len(allowlisted)} allowlisted site(s))"
+    )
+    return 0
+
+
+def self_test() -> int:
+    import tempfile
+
+    cases = [
+        (
+            # Unannotated write in a parallel_for body.
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t i) {\n"
+            "    out[i] = g(i);\n"
+            "  });\n"
+            "}\n",
+            [(3, "out")],
+        ),
+        (
+            # Annotated within the window: clean.
+            "void f() {\n"
+            "  PARCT_SHADOW_BUFFER(buf);\n"
+            "  par::parallel_for(0, n, [&](std::size_t i) {\n"
+            "    PARCT_SHADOW_WRITE(analysis::buffer_cell(buf, i));\n"
+            "    out[i] = g(i);\n"
+            "  });\n"
+            "}\n",
+            [],
+        ),
+        (
+            # Record-level annotation also satisfies the rule.
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t v) {\n"
+            "    PARCT_SHADOW_WRITE_REC(sid, v, r);\n"
+            "    recs[v] = make(v);\n"
+            "  });\n"
+            "}\n",
+            [],
+        ),
+        (
+            # Nested subscripts are still writes.
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t k) {\n"
+            "    vals_[v][i] = combine(vals_[v][i - 1], x);\n"
+            "  });\n"
+            "}\n",
+            [(3, "vals_")],
+        ),
+        (
+            # Writes outside any parallel region are not findings.
+            "void f() {\n"
+            "  for (std::size_t i = 0; i < n; ++i) out[i] = g(i);\n"
+            "}\n",
+            [],
+        ),
+        (
+            # fork2join bodies are parallel regions too.
+            "void f() {\n"
+            "  fork2join([&] { a[0] = 1; }, [&] { a[1] = 2; });\n"
+            "}\n",
+            [(2, "a")],
+        ),
+        (
+            # Comparison is not a write.
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t i) {\n"
+            "    if (out[i] == x) count();\n"
+            "  });\n"
+            "}\n",
+            [],
+        ),
+        (
+            # A write in a comment is not a write.
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t i) {\n"
+            "    // out[i] = g(i);\n"
+            "    h(i);\n"
+            "  });\n"
+            "}\n",
+            [],
+        ),
+        (
+            # After the region closes, writes are fine again.
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t i) { g(i); });\n"
+            "  out[0] = 1;\n"
+            "}\n",
+            [],
+        ),
+    ]
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for i, (content, expect) in enumerate(cases):
+            p = Path(tmp) / f"case{i}.cpp"
+            p.write_text(content)
+            got = [
+                (line, name)
+                for line, name, _ in scan_file(p, p.name, use_libclang=False)
+            ]
+            if got != expect:
+                failures += 1
+                print(f"self-test case {i} FAILED: expected {expect}, got {got}")
+    if failures:
+        return 1
+    print("check_shadow_coverage.py self-test: all cases pass")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if "--self-test" in argv:
+        return self_test()
+    return run(report="--report" in argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -6,6 +6,13 @@ Rules (see docs/STATIC_ANALYSIS.md):
   raw-thread      std::thread / pthread_create outside src/parallel/ —
                   all parallelism must flow through the fork-join runtime
                   so the SP-bags detector and the scheduler see it.
+  raw-mutex       std::mutex / std::condition_variable / std::lock_guard /
+                  std::unique_lock / std::scoped_lock in src/ outside
+                  src/parallel/capability.hpp — locking must go through
+                  the capability-annotated parct::Mutex / parct::CondVar /
+                  parct::MutexLock wrappers so the Clang thread-safety
+                  gate (docs/STATIC_ANALYSIS.md §3) sees every lock site;
+                  a raw primitive is invisible to the analysis.
   mutable-global  namespace-scope mutable globals in src/ that are not
                   std::atomic / mutex / condition_variable / thread_local /
                   const / constexpr — unsynchronized globals are how
@@ -76,6 +83,15 @@ SHADOW_ANNOTATION = re.compile(r"PARCT_SHADOW_WRITE(_REC)?\b")
 # std::thread::id is plain bookkeeping data, not thread creation.
 RAW_THREAD = re.compile(r"\bstd::thread\b(?!::)|\bpthread_create\b")
 
+# Raw locking primitives: only src/parallel/capability.hpp (the annotated
+# wrapper layer) may spell these in src/.
+RAW_MUTEX = re.compile(
+    r"\bstd::(recursive_|shared_|timed_)?mutex\b|"
+    r"\bstd::condition_variable(_any)?\b|"
+    r"\bstd::(lock_guard|unique_lock|scoped_lock)\b"
+)
+CAPABILITY_HEADER = "src/parallel/capability.hpp"
+
 VOLATILE = re.compile(r"\bvolatile\b")
 
 # Namespace-scope mutable globals: a declaration at zero brace depth (or
@@ -91,6 +107,7 @@ GLOBAL_DECL = re.compile(
 ALLOWED_GLOBAL_TYPES = re.compile(
     r"std::atomic\b|std::mutex\b|std::shared_mutex\b|"
     r"std::condition_variable\b|std::once_flag\b|thread_local\b|"
+    r"\b(parct::)?(Mutex|CondVar)\b|"
     r"\bconst\b|\bconstexpr\b"
 )
 
@@ -183,6 +200,20 @@ def lint_file(path: Path, findings: list[str]) -> None:
                 findings.append(
                     f"{loc}: raw-thread: std::thread/pthread_create outside "
                     "src/parallel/ — use the fork-join runtime"
+                )
+
+        # raw-mutex: locking outside the capability wrapper layer.
+        if (
+            rel.startswith("src/")
+            and rel != CAPABILITY_HEADER
+            and RAW_MUTEX.search(code)
+        ):
+            if not allowed("raw-mutex", lines, idx):
+                findings.append(
+                    f"{loc}: raw-mutex: raw std locking primitive — use "
+                    "parct::Mutex/CondVar/MutexLock "
+                    "(parallel/capability.hpp) so the thread-safety "
+                    "analysis sees the lock site"
                 )
 
         # volatile-sync: volatile anywhere in src/ is suspect.
@@ -347,6 +378,52 @@ def self_test() -> int:
             "src/foo/bar.cpp",
             "// parct-lint: allow(raw-thread) reason: test fixture\n"
             "void f() { std::thread t([]{}); }\n",
+            None,
+        ),
+        (
+            "src/foo/bar.cpp",
+            "void f() {\n"
+            "  std::lock_guard<std::mutex> lk(m);\n"
+            "}\n",
+            "raw-mutex",
+        ),
+        (
+            "src/foo/bar.hpp",
+            "class C {\n"
+            "  std::condition_variable cv_;\n"
+            "};\n",
+            "raw-mutex",
+        ),
+        (
+            # The wrapper layer itself is the one sanctioned location.
+            "src/parallel/capability.hpp",
+            "class Mutex {\n"
+            "  std::mutex mu_;\n"
+            "};\n",
+            None,
+        ),
+        (
+            "src/foo/bar.cpp",
+            "void f() {\n"
+            "  // parct-lint: allow(raw-mutex) reason: test fixture\n"
+            "  std::unique_lock<std::mutex> lk(m);\n"
+            "}\n",
+            None,
+        ),
+        (
+            # The annotated wrappers are the sanctioned spelling.
+            "src/foo/bar.cpp",
+            "void f() {\n"
+            "  MutexLock lk(mu_);\n"
+            "  cv_.notify_all();\n"
+            "}\n",
+            None,
+        ),
+        (
+            # A global parct::Mutex is a synchronization primitive, not a
+            # mutable-global finding (the scheduler's lifecycle lock).
+            "src/foo/g.cpp",
+            "Mutex g_lifecycle_mu;\n",
             None,
         ),
         ("src/foo/g.cpp", "int g_counter = 0;\n", "mutable-global"),

@@ -1,0 +1,59 @@
+// Gate-liveness fixture for the Clang thread-safety job: proves the
+// analysis is actually wired into the build, not silently disabled.
+//
+// Compiled two ways (by the `thread-safety` CI job, and by tools/check.sh
+// when a clang++ is installed):
+//
+//   clang++ -fsyntax-only -Werror=thread-safety  thread_safety_probe.cpp
+//       must PASS — the probe's default code is correctly annotated;
+//   clang++ ... -DPARCT_PROBE_UNGUARDED  (or -DPARCT_PROBE_DOUBLE_ACQUIRE)
+//       must FAIL — each define enables one deliberate discipline
+//       violation, and a gate that accepts it is not checking anything.
+//
+// Checking both directions catches the two silent-failure modes: the
+// flags falling off the build (violation compiles), and the macros
+// expanding to nothing under Clang (also: violation compiles).
+#include "parallel/capability.hpp"
+
+namespace parct::probe {
+
+class Guarded {
+ public:
+  void set(int v) PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    value_ = v;
+  }
+
+  int get() const PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return value_;
+  }
+
+#if defined(PARCT_PROBE_UNGUARDED)
+  // Deliberate violation: reads a PARCT_GUARDED_BY(mu_) member without
+  // holding mu_ — must be rejected by -Werror=thread-safety.
+  int get_unguarded() const { return value_; }
+#endif
+
+#if defined(PARCT_PROBE_DOUBLE_ACQUIRE)
+  // Deliberate violation: re-enters an EXCLUDES(mu_) method while already
+  // holding mu_ — the self-deadlock the EXCLUDES convention exists to
+  // catch at compile time.
+  int get_twice() const PARCT_EXCLUDES(mu_) {
+    MutexLock lk(mu_);
+    return get();
+  }
+#endif
+
+ private:
+  mutable Mutex mu_;
+  int value_ PARCT_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace parct::probe
+
+int main() {
+  parct::probe::Guarded g;
+  g.set(1);
+  return g.get() == 1 ? 0 : 1;
+}
