@@ -24,6 +24,7 @@
 
 #include "contraction/construct.hpp"
 #include "contraction/dynamic_update.hpp"
+#include "parallel/adaptive.hpp"
 #include "parallel/stats.hpp"
 
 namespace parct::bench {
@@ -191,12 +192,15 @@ inline void add_update_stats(StatsDump& d,
       .num("initial_affected", s.initial_affected)
       .num("affected_total", s.total_affected)
       .num("affected_max", s.max_affected)
-      .num("neighborhood_total", s.total_neighborhood);
+      .num("neighborhood_total", s.total_neighborhood)
+      .num("chose_serial", s.chose_serial)
+      .num("fused_passes", s.fused_passes)
+      .num("serial_cutover", par::serial_cutover());
   if constexpr (contract::kStatsEnabled) {
     static constexpr const char* kPhaseKeys[contract::kNumUpdatePhases] = {
         "phase_initial_s", "phase_mark_s", "phase_neighborhood_s",
         "phase_erase_s",   "phase_promote_s", "phase_leaf_s",
-        "phase_spread_s",  "phase_x_s"};
+        "phase_spread_s",  "phase_x_s",       "phase_serial_s"};
     for (unsigned p = 0; p < contract::kNumUpdatePhases; ++p) {
       d.num(kPhaseKeys[p], s.phase_seconds[p]);
     }
@@ -214,11 +218,14 @@ inline void add_update_stats(StatsDump& d,
 /// of a ConstructStats to a dump.
 inline void add_construct_stats(StatsDump& d,
                                 const contract::ConstructStats& s) {
-  d.num("rounds", s.rounds).num("total_live", s.total_live);
+  d.num("rounds", s.rounds)
+      .num("total_live", s.total_live)
+      .num("chose_serial", s.chose_serial)
+      .num("serial_cutover", par::serial_cutover());
   if constexpr (contract::kStatsEnabled) {
     static constexpr const char* kPhaseKeys[contract::kNumConstructPhases] =
         {"phase_classify_s", "phase_allocate_s", "phase_promote_s",
-         "phase_compact_s"};
+         "phase_compact_s", "phase_serial_s"};
     for (unsigned p = 0; p < contract::kNumConstructPhases; ++p) {
       d.num(kPhaseKeys[p], s.phase_seconds[p]);
     }

@@ -1,6 +1,7 @@
 #include "contraction/construct.hpp"
 
 #include "analysis/annotations.hpp"
+#include "parallel/adaptive.hpp"
 #include "parallel/parallel_for.hpp"
 #include "primitives/pack.hpp"
 
@@ -21,23 +22,36 @@ void randomized_contract(ContractionForest& c, std::uint32_t i,
   c.coins().ensure_rounds(i + 2);
   const std::size_t n = live.size();
 
+  // The late contraction tail (live set below the adaptive cutover) runs
+  // each round inline — the same fast path small-batch updates take (see
+  // parallel/adaptive.hpp). Serial rounds are timed whole into
+  // phase_seconds[kPhaseConstructSerial]; per-phase brackets would cost
+  // more clock reads than the round does work.
+  const par::AdaptivePhase round_mode(n);
+  stats.chose_serial += round_mode.serial() ? 1 : 0;
+  StatsTimePoint t_phase = stats_now();
+  auto phase_done = [&](double& sink) {
+    if constexpr (kStatsEnabled) {
+      if (round_mode.serial()) return;
+      sink += stats_since(t_phase);
+      t_phase = stats_now();
+    }
+  };
+
   // Phase A: contraction decisions. `status` is indexed by vertex id and
   // only entries of live vertices are read, so no per-round reset needed.
-  {
-    PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseClassify]);
-    par::parallel_for(0, n, [&](std::size_t k) {
-      PARCT_SHADOW_WRITE(analysis::scratch_cell(
-          analysis::ShadowArray::kConstructStatus, live[k]));
-      status[live[k]] = c.classify(i, live[k]);
-    });
-  }
+  par::adaptive_for(0, n, [&](std::size_t k) {
+    PARCT_SHADOW_WRITE(analysis::scratch_cell(
+        analysis::ShadowArray::kConstructStatus, live[k]));
+    status[live[k]] = c.classify(i, live[k]);
+  });
+  phase_done(stats.phase_seconds[kPhaseClassify]);
 
   // Phase B: allocate and blank the round-(i+1) record of every survivor.
   // Each iteration touches only its own vertex's history, so growth is
   // race-free.
   {
-    PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseAllocate]);
-    par::parallel_for(0, n, [&](std::size_t k) {
+    par::adaptive_for(0, n, [&](std::size_t k) {
       const VertexId v = live[k];
       PARCT_SHADOW_READ(analysis::scratch_cell(
           analysis::ShadowArray::kConstructStatus, v));
@@ -50,14 +64,14 @@ void randomized_contract(ContractionForest& c, std::uint32_t i,
       r.children = kEmptyChildren;
     });
   }
+  phase_done(stats.phase_seconds[kPhaseAllocate]);
 
   // Phase C: PromoteEdges (paper Fig. 2). Every round-(i+1) field has
   // exactly one writer: a vertex's parent pointer is written by its
   // surviving parent or by its compressing parent's promotion; child slot
   // (p, j) is written by the surviving vertex owning j or by the vertex
   // its compressing owner hands it to.
-  const StatsTimePoint t_promote = stats_now();
-  par::parallel_for(0, n, [&](std::size_t k) {
+  par::adaptive_for(0, n, [&](std::size_t k) {
     const VertexId v = live[k];
     PARCT_SHADOW_READ(analysis::scratch_cell(
         analysis::ShadowArray::kConstructStatus, v));
@@ -114,17 +128,20 @@ void randomized_contract(ContractionForest& c, std::uint32_t i,
       }
     }
   });
-  if constexpr (kStatsEnabled) {
-    stats.phase_seconds[kPhasePromoteEdges] += stats_since(t_promote);
-  }
+  phase_done(stats.phase_seconds[kPhasePromoteEdges]);
 
   // Phase D: compact the live set (the paper's C(n) subroutine).
-  PARCT_PHASE_TIMER(stats.phase_seconds[kPhaseCompact]);
   prim::pack_into(live, [&](std::size_t k) {
     PARCT_SHADOW_READ(analysis::scratch_cell(
         analysis::ShadowArray::kConstructStatus, live[k]));
     return status[live[k]] == Kind::kSurvive;
   }, next_live, ws);
+  phase_done(stats.phase_seconds[kPhaseCompact]);
+  if constexpr (kStatsEnabled) {
+    if (round_mode.serial()) {
+      stats.phase_seconds[kPhaseConstructSerial] += stats_since(t_phase);
+    }
+  }
 }
 
 }  // namespace

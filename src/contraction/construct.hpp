@@ -21,6 +21,7 @@ enum ConstructPhase : unsigned {
   kPhaseAllocate,      // B: blank round-(i+1) survivor records
   kPhasePromoteEdges,  // C: PromoteEdges
   kPhaseCompact,       // D: pack the live set
+  kPhaseConstructSerial,  // whole-round time of sub-cutover serial rounds
   kNumConstructPhases
 };
 
@@ -31,6 +32,9 @@ struct ConstructStats {
   std::uint64_t total_live = 0;
   /// |V^i| per round (for the geometric-decay property tests, Lemma 5).
   std::vector<std::uint32_t> live_per_round;
+  /// Rounds whose live set was below the adaptive serial cutover and ran
+  /// inline (the late contraction tail; par::AdaptivePhase).
+  std::uint64_t chose_serial = 0;
 
   // --- telemetry (populated only when built with PARCT_STATS) ---
   /// Wall-clock seconds per phase, summed over rounds. Index by

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "parallel/parallel_for.hpp"
+#include "parallel/adaptive.hpp"
 
 namespace parct::contract {
 
@@ -21,7 +21,7 @@ void ContractionForest::ensure_capacity(std::size_t capacity) {
 
 void ContractionForest::init_from_forest(const forest::Forest& f) {
   ensure_capacity(f.capacity());
-  par::parallel_for(0, history_.size(), [&](std::size_t i) {
+  par::adaptive_for(0, history_.size(), [&](std::size_t i) {
     const VertexId v = static_cast<VertexId>(i);
     VertexHistory& h = history_[v];
     PARCT_SHADOW_WRITE(analysis::duration_cell(shadow_id(), v));

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "analysis/annotations.hpp"
+#include "parallel/adaptive.hpp"
 #include "parallel/parallel_for.hpp"
 #include "primitives/pack.hpp"
 #include "primitives/sort.hpp"
@@ -78,9 +79,18 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   xset_.clear();
 
   // --- initial phase (paper Fig. 3, lines 2-18): O(m) work, low span. --
+  // One adaptive decision covers the whole phase: a small batch runs it
+  // inline (every loop, pack and sort below degenerates to its sequential
+  // path with zero scheduler interaction).
+  const std::size_t num_edges = m.remove_edges.size() + m.add_edges.size();
+  const std::size_t batch_n =
+      m.remove_vertices.size() + m.add_vertices.size() + 2 * num_edges;
+  {
+  const par::AdaptivePhase initial_mode(batch_n);
+  stats.chose_serial += initial_mode.serial() ? 1 : 0;
   const std::uint64_t e_vminus = ++epoch_;
   ws_.resize_tracked(xset_, m.remove_vertices.size());
-  par::parallel_for(0, m.remove_vertices.size(), [&](std::size_t k) {
+  par::adaptive_for(0, m.remove_vertices.size(), [&](std::size_t k) {
     const VertexId v = m.remove_vertices[k];
     claim_[v].store(e_vminus, std::memory_order_relaxed);
     xset_[k] = {v, 0};
@@ -90,7 +100,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   // isolated round-0 records. They also join L (claimed below with the
   // endpoints; V+ ids are fresh so their claims always win).
   const std::uint64_t e_l0 = ++epoch_;
-  par::parallel_for(0, m.add_vertices.size(), [&](std::size_t k) {
+  par::adaptive_for(0, m.add_vertices.size(), [&](std::size_t k) {
     const VertexId v = m.add_vertices[k];
     c_.set_duration(v, 0);
     c_.ensure_round(v, 0);
@@ -101,14 +111,13 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   // U = endpoints of E- and E+; all of U \ V- joins L, as does V+.
   // Claim-then-pack produces a duplicate-free L0; the same pass captures
   // the pre-edit leaf statuses (for the leaf-change rule below).
-  const std::size_t num_edges = m.remove_edges.size() + m.add_edges.size();
   auto edge_at = [&](std::size_t k) -> const Edge& {
     return k < m.remove_edges.size()
                ? m.remove_edges[k]
                : m.add_edges[k - m.remove_edges.size()];
   };
   assign_tracked(cand_, m.add_vertices.size() + 2 * num_edges, kNoVertex);
-  par::parallel_for(0, m.add_vertices.size(), [&](std::size_t k) {
+  par::adaptive_for(0, m.add_vertices.size(), [&](std::size_t k) {
     const VertexId v = m.add_vertices[k];
     if (try_claim(v, e_l0)) {
       PARCT_SHADOW_WRITE(cand_cell(k));
@@ -116,7 +125,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
     }
   });
   const std::size_t edge_cand_base = m.add_vertices.size();
-  par::parallel_for(0, num_edges, [&](std::size_t k) {
+  par::adaptive_for(0, num_edges, [&](std::size_t k) {
     const Edge& e = edge_at(k);
     VertexId* out = cand_.data() + edge_cand_base + 2 * k;
     for (int side = 0; side < 2; ++side) {
@@ -143,7 +152,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   // insertions. Deletions touch disjoint (child, parent-slot) pairs and
   // run fully in parallel; insertions are grouped by parent (stable sort)
   // so each group assigns its parent's free slots sequentially.
-  par::parallel_for(0, m.remove_edges.size(), [&](std::size_t k) {
+  par::adaptive_for(0, m.remove_edges.size(), [&](std::size_t k) {
     const Edge& e = m.remove_edges[k];
     PARCT_SHADOW_READ(
         analysis::record_parent_cell(c_.shadow_id(), e.child, 0));
@@ -167,7 +176,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
       return a.parent < b.parent;
     }, ws_);
     std::atomic<bool> overflow{false};
-    par::parallel_for(0, inserts_.size(), [&](std::size_t k) {
+    par::adaptive_for(0, inserts_.size(), [&](std::size_t k) {
       if (k > 0 && inserts_[k].parent == inserts_[k - 1].parent) {
         return;  // not a group head
       }
@@ -200,7 +209,7 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
 
   // A leaf-status flip of an endpoint affects its (post-edit) parent.
   assign_tracked(cand_, num_edges * 2, kNoVertex);
-  par::parallel_for(0, num_edges, [&](std::size_t k) {
+  par::adaptive_for(0, num_edges, [&](std::size_t k) {
     const Edge& e = edge_at(k);
     VertexId* out = cand_.data() + 2 * k;
     for (int side = 0; side < 2; ++side) {
@@ -236,15 +245,23 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
   if constexpr (kStatsEnabled) {
     stats.phase_seconds[kPhaseInitial] += stats_since(t_begin);
   }
+  }  // initial_mode: each propagation round makes its own serial decision
 
   // --- change propagation (paper Fig. 3, lines 19-21) ------------------
+  StatsTimePoint serial_t0{};
+  bool serial_open = false;
   std::uint32_t i = 0;
   while (!lset_.empty() || !xset_.empty()) {
-    propagate(i, hooks, stats);
+    propagate(i, hooks, stats, serial_t0, serial_open);
     ++i;
   }
   stats.rounds = i;
-  if constexpr (kStatsEnabled) stats.total_seconds = stats_since(t_begin);
+  if constexpr (kStatsEnabled) {
+    if (serial_open) {
+      stats.phase_seconds[kPhaseSerial] += stats_since(serial_t0);
+    }
+    stats.total_seconds = stats_since(t_begin);
+  }
   const WorkspaceStats ws_delta =
       workspace_stats_delta(ws_begin, ws_.stats());
   stats.ws_acquires = ws_delta.acquires;
@@ -257,7 +274,9 @@ UpdateStats DynamicUpdater::apply(const forest::ChangeSet& m,
 }
 
 void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
-                               UpdateStats& stats) {
+                               UpdateStats& stats,
+                               StatsTimePoint& serial_t0,
+                               bool& serial_open) {
   ws_.epoch_reset();  // round boundary: no scratch lease crosses rounds
   c_.coins().ensure_rounds(i + 2);
   const std::size_t nl_count = lset_.size();
@@ -268,25 +287,63 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
     stats.affected_per_round.push_back(
         static_cast<std::uint32_t>(nl_count + xset_.size()));
   }
-  StatsTimePoint t_phase = stats_now();
+
+  // One serial-vs-parallel decision per round: a sub-cutover frontier runs
+  // the whole round inline (AdaptivePhase forces the sequential paths of
+  // every loop and primitive below; docs/PERFORMANCE.md "Small-batch fast
+  // path"). The per-round stats above are recorded before the decision, so
+  // both paths report identical round telemetry.
+  const par::AdaptivePhase round_mode(nl_count + xset_.size());
+  stats.chose_serial += round_mode.serial() ? 1 : 0;
+  if constexpr (kStatsEnabled) {
+    stats.serial_per_round.push_back(round_mode.serial() ? 1 : 0);
+  }
+
+  // Serial rounds skip per-phase attribution — at ~tens of ns per clock
+  // read, 8 brackets/round would dwarf a tiny round's actual work. They
+  // are instead timed whole into phase_seconds[kPhaseSerial] through a
+  // bracket the caller carries across consecutive serial rounds, so a
+  // fully-serial update pays two clock reads total, not two per round.
+  StatsTimePoint t_phase{};
+  if constexpr (kStatsEnabled) {
+    if (round_mode.serial()) {
+      if (!serial_open) {
+        serial_t0 = stats_now();
+        serial_open = true;
+      }
+    } else {
+      if (serial_open) {
+        stats.phase_seconds[kPhaseSerial] += stats_since(serial_t0);
+        serial_open = false;
+      }
+      t_phase = stats_now();
+    }
+  }
   // Accumulates the time since the previous phase boundary into `sink`.
   auto phase_done = [&](double& sink) {
     if constexpr (kStatsEnabled) {
+      if (round_mode.serial()) return;
       sink += stats_since(t_phase);
       t_phase = stats_now();
     }
   };
 
-  // Phase A: mark L (and L-union-X), classify L's members in G, and record
-  // old (F) leaf statuses at round i+1 before anything rewrites them (the
-  // ell of LeafStatuses, paper Fig. 4 line 2).
+  // Phase A+B (fused): one traversal of L marks it (and L-union-X),
+  // classifies members in G, records old (F) leaf statuses at round i+1
+  // before anything rewrites them (the ell of LeafStatuses, paper Fig. 4
+  // line 2), and claims NL = L plus all round-i neighbours in G (Fig. 4
+  // line 3). Fusing is legal because the B half reads only round-i records
+  // and the claim stamps — never the mark/status/leaf arrays the A half
+  // writes — so no iteration observes another's A-half effects.
   epoch_l_ = ++epoch_;
   epoch_lx_ = ++epoch_;
-  par::parallel_for(0, xset_.size(), [&](std::size_t k) {
+  epoch_nlx_ = ++epoch_;
+  assign_tracked(cand_, nl_count * kWidth, kNoVertex);
+  par::adaptive_for(0, xset_.size(), [&](std::size_t k) {
     PARCT_SHADOW_WRITE(mark_lx_cell(xset_[k].first));
     mark_lx_[xset_[k].first] = epoch_lx_;
   });
-  par::parallel_for(0, nl_count, [&](std::size_t k) {
+  par::adaptive_for(0, nl_count, [&](std::size_t k) {
     const VertexId v = lset_[k];
     PARCT_SHADOW_WRITE(mark_l_cell(v));
     mark_l_[v] = epoch_l_;
@@ -301,15 +358,6 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
       old_leaf_[v] =
           children_empty(c_.record(i + 1, v).children) ? 1 : 0;
     }
-  });
-  phase_done(stats.phase_seconds[kPhaseMark]);
-
-  // Phase B: build NL = L plus all round-i neighbours in G (Fig. 4 line
-  // 3), claim-then-pack for a duplicate-free list.
-  epoch_nlx_ = ++epoch_;
-  assign_tracked(cand_, nl_count * kWidth, kNoVertex);
-  par::parallel_for(0, nl_count, [&](std::size_t k) {
-    const VertexId v = lset_[k];
     VertexId* out = cand_.data() + k * kWidth;
     if (try_claim(v, epoch_nlx_)) {
       PARCT_SHADOW_WRITE(cand_cell(k * kWidth));
@@ -329,6 +377,9 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
       }
     }
   });
+  stats.fused_passes += 1;
+  phase_done(stats.phase_seconds[kPhaseMark]);
+
   prim::pack_into(cand_, [&](std::size_t k) {
     PARCT_SHADOW_READ(cand_cell(k));
     return cand_[k] != kNoVertex;
@@ -347,7 +398,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   // (e.g. an unaffected compressing vertex) may lie outside NL and would
   // never re-promote it. Members of L that survive in G but are already
   // dead in F get a fresh blank record.
-  par::parallel_for(0, nl_.size(), [&](std::size_t k) {
+  par::adaptive_for(0, nl_.size(), [&](std::size_t k) {
     const VertexId v = nl_[k];
     if (c_.duration(v) > i + 1) {
       RoundRecord& r = c_.record_mut(i + 1, v);
@@ -385,7 +436,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   // incident upon any neighbor of an affected vertex"). Unaffected NL
   // members redo exactly what F did (Lemma 2), so their writes are
   // idempotent re-executions.
-  par::parallel_for(0, nl_.size(), [&](std::size_t k) {
+  par::adaptive_for(0, nl_.size(), [&](std::size_t k) {
     const VertexId v = nl_[k];
     const Kind kind = kind_of(i, v);
     PARCT_SHADOW_READ_REC(c_.shadow_id(), v, i);
@@ -433,21 +484,13 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   });
   phase_done(stats.phase_seconds[kPhasePromote]);
 
-  // Phase E: new (G) leaf statuses at round i+1 (the ell' of Fig. 4).
-  par::parallel_for(0, nl_count, [&](std::size_t k) {
-    const VertexId v = lset_[k];
-    PARCT_SHADOW_READ(status_g_cell(v));
-    if (static_cast<Kind>(status_g_[v]) == Kind::kSurvive &&
-        c_.duration(v) > i + 1) {
-      PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), v, i + 1);
-      PARCT_SHADOW_WRITE(new_leaf_cell(v));
-      new_leaf_[v] =
-          children_empty(c_.record(i + 1, v).children) ? 1 : 0;
-    }
-  });
-  phase_done(stats.phase_seconds[kPhaseLeaf]);
-
-  // Phase F: Spread (Fig. 4 lines 20-31): build the next round's L.
+  // Phase E+F (fused): Spread (Fig. 4 lines 20-31) builds the next round's
+  // L; the old standalone Phase E (new G leaf statuses at round i+1, the
+  // ell' of Fig. 4) is folded into case (d) below — the only consumer of
+  // new_leaf_, and its guard (kSurvive with D[v] > i+1) is exactly E's
+  // write condition. Each iteration computes and compares its own vertex's
+  // statuses, so the fusion removes one full frontier traversal without
+  // introducing any cross-iteration read of another's write.
   //  (a) a contracting member affects its round-i G-neighbours (which all
   //      survive round i — rake/compress neighbours cannot contract
   //      simultaneously);
@@ -458,7 +501,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   //      affects its round-(i+1) parent.
   const std::uint64_t e_next = ++epoch_;
   assign_tracked(cand_, nl_count * kWidth, kNoVertex);
-  par::parallel_for(0, nl_count, [&](std::size_t k) {
+  par::adaptive_for(0, nl_count, [&](std::size_t k) {
     const VertexId v = lset_[k];
     VertexId* out = cand_.data() + k * kWidth;
     PARCT_SHADOW_READ(status_g_cell(v));
@@ -482,8 +525,11 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
             out[2 + s] = u;
           }
         }
-      } else if (dur_f > i + 1) {  // (d)
-        PARCT_SHADOW_READ(new_leaf_cell(v));
+      } else if (dur_f > i + 1) {  // (d), with E's ell' computed in place
+        PARCT_SHADOW_READ_CHILDREN(c_.shadow_id(), v, i + 1);
+        PARCT_SHADOW_WRITE(new_leaf_cell(v));
+        new_leaf_[v] =
+            children_empty(c_.record(i + 1, v).children) ? 1 : 0;
         PARCT_SHADOW_READ(old_leaf_cell(v));
         if (new_leaf_[v] != old_leaf_[v]) {
           PARCT_SHADOW_READ(
@@ -511,6 +557,7 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
       }
     }
   });
+  stats.fused_passes += 1;
   prim::pack_into(cand_, [&](std::size_t k) {
     PARCT_SHADOW_READ(cand_cell(k));
     return cand_[k] != kNoVertex;
@@ -552,6 +599,8 @@ void DynamicUpdater::propagate(std::uint32_t i, EventHooks* hooks,
   }
 
   phase_done(stats.phase_seconds[kPhaseX]);
+  // Serial rounds leave their kPhaseSerial bracket open — the next
+  // non-serial round or apply() itself closes it.
 
   // Swap, never move-assign: lset_'s old buffer becomes next round's
   // next_l_ destination, so both capacities survive.

@@ -28,9 +28,10 @@ enum UpdatePhase : unsigned {
   kPhaseNeighborhood, // B: build NL (claim-then-pack)
   kPhaseErase,        // C: erase round-(i+1) edges incident on affected
   kPhasePromote,      // D: re-promote edges over NL
-  kPhaseLeaf,         // E: new leaf statuses
-  kPhaseSpread,       // F: build next round's L
+  kPhaseLeaf,         // E: new leaf statuses (fused into F; see .cpp)
+  kPhaseSpread,       // F: build next round's L (includes fused E)
   kPhaseX,            // G: X bookkeeping (sequential)
+  kPhaseSerial,       // whole-round time of sub-cutover serial rounds
   kNumUpdatePhases
 };
 
@@ -46,6 +47,13 @@ struct UpdateStats {
   std::uint64_t max_affected = 0;
   /// Sum over rounds of |NL| (affected vertices plus their neighbours).
   std::uint64_t total_neighborhood = 0;
+  /// Adaptive-execution decisions that chose the inline serial path (the
+  /// initial batch phase plus each propagation round makes one; see
+  /// par::AdaptivePhase and docs/PERFORMANCE.md "Small-batch fast path").
+  std::uint64_t chose_serial = 0;
+  /// Fused frontier traversals executed (A+B and E+F count one each per
+  /// round, on both the serial and the parallel path).
+  std::uint64_t fused_passes = 0;
 
   // --- telemetry (populated only when built with PARCT_STATS; see
   // contraction/telemetry.hpp and docs/OBSERVABILITY.md) ---
@@ -57,6 +65,9 @@ struct UpdateStats {
   std::vector<std::uint32_t> affected_per_round;
   /// |NL| of each propagation round.
   std::vector<std::uint32_t> neighborhood_per_round;
+  /// 1 for each round that took the serial fast path, 0 otherwise (same
+  /// length as affected_per_round; excludes the initial batch phase).
+  std::vector<std::uint8_t> serial_per_round;
 
   // --- allocation discipline (always on — counters are bumped only on
   // the scratch acquire/release paths, a handful per phase; see
@@ -97,8 +108,12 @@ class DynamicUpdater {
  private:
   void grow_scratch();
   /// One round of Propagate (paper Fig. 4); consumes lset_/xset_ and
-  /// replaces them with the next round's sets.
-  void propagate(std::uint32_t i, EventHooks* hooks, UpdateStats& stats);
+  /// replaces them with the next round's sets. serial_t0/serial_open carry
+  /// one phase_seconds[kPhaseSerial] bracket across *consecutive* serial
+  /// rounds: small updates whose every round is sub-cutover pay two clock
+  /// reads total instead of two per round (apply() closes the bracket).
+  void propagate(std::uint32_t i, EventHooks* hooks, UpdateStats& stats,
+                 StatsTimePoint& serial_t0, bool& serial_open);
 
   /// assign(n, fill) with capacity growth recorded in the workspace stats,
   /// so the steady-state allocation check covers the claim buffers too.

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "fault/fault_injection.hpp"
+#include "parallel/adaptive.hpp"
 #include "parallel/capability.hpp"
 #include "hashing/splitmix64.hpp"
 #include "parallel/chase_lev_deque.hpp"
@@ -257,6 +258,12 @@ void initialize(unsigned num_workers, std::uint64_t steal_seed) {
     next->threads.emplace_back(worker_loop, next, i);
   }
   g_pool.store(next, std::memory_order_release);
+  // Re-derive the adaptive serial cutover against this pool's real
+  // fork2join overhead (~100 µs microbenchmark; no-op for 1-worker pools).
+  // Runs after the store so the fork2joins below find the pool, and still
+  // under g_lifecycle_mu so no concurrent initialize/shutdown can destroy
+  // it mid-measurement.
+  adaptive_detail::recalibrate_serial_cutover(num_workers);
 }
 
 void shutdown() {
@@ -310,6 +317,9 @@ namespace detail {
 
 RegionScope::RegionScope() { ++tl_region_depth; }
 RegionScope::~RegionScope() { --tl_region_depth; }
+
+void enter_serial() noexcept { ++tl_serial_depth; }
+void exit_serial() noexcept { --tl_serial_depth; }
 
 void push_task(Task* t) {
   Pool& pool = ensure_pool();

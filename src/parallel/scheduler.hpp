@@ -139,8 +139,16 @@ class SerialScope {
 /// tasks).
 Workspace& worker_workspace();
 
-// --- internal API used by fork_join.hpp ---
+// --- internal API used by fork_join.hpp / adaptive.hpp ---
 namespace detail {
+/// Raw serial-mode entry/exit: what SerialScope does, minus the
+/// kSerialHandoff fault site. Used by par::AdaptivePhase, which may open
+/// one per sub-cutover propagation round on the *calling* thread — there
+/// is no cross-thread handoff to perturb, and a chaos stall per tiny round
+/// would be noise, not coverage. Must be balanced (RAII callers only).
+void enter_serial() noexcept;
+void exit_serial() noexcept;
+
 /// RAII marker: the calling thread has stack-allocated tasks in flight, so
 /// in_parallel_region() holds for the scope and pool re-initialization is
 /// refused. fork_join.hpp opens one per multi-worker fork2join.

@@ -5,11 +5,15 @@
 // equivalence, checked exhaustively over shapes, batch kinds and sizes.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <optional>
+
 #include "contraction/construct.hpp"
 #include "contraction/dynamic_update.hpp"
 #include "contraction/validate.hpp"
 #include "forest/generators.hpp"
 #include "forest/validation.hpp"
+#include "parallel/adaptive.hpp"
 #include "parallel/scheduler.hpp"
 #include "test_util.hpp"
 
@@ -359,6 +363,79 @@ TEST(DynamicUpdate, DeterministicAcrossWorkerCounts) {
   par::scheduler::initialize(1);
 
   EXPECT_TRUE(contract::structurally_equal(c1, c4));
+}
+
+// Round-count telemetry must agree with the actual rounds executed on
+// BOTH execution paths: previously nothing asserted that rounds ==
+// |affected_per_round| == |neighborhood_per_round|, and a serial-path
+// round that skipped the per-round recording would silently desynchronize
+// them. Checked at cutover 0 (every round parallel), the ambient default,
+// and SIZE_MAX (every round inline serial).
+TEST(DynamicUpdate, RoundTelemetryMatchesRoundsAtEveryCutover) {
+  Forest full = forest::build_tree(2000, 4, 0.6, 21, 0);
+  auto [initial, m] = forest::make_insert_batch(full, 30, 5);
+
+  const std::optional<std::size_t> cutovers[] = {
+      std::size_t{0}, std::nullopt, ~std::size_t{0}};
+  for (const auto& cutover : cutovers) {
+    if (cutover.has_value()) {
+      par::set_serial_cutover(*cutover);
+    } else {
+      par::clear_serial_cutover();
+    }
+    ContractionForest c(initial.capacity(), 4, 55);
+    contract::construct(c, initial);
+    const UpdateStats stats = contract::modify_contraction(c, m);
+    ASSERT_GT(stats.rounds, 0u);
+
+    std::uint64_t serial_rounds = 0;
+    if constexpr (contract::kStatsEnabled) {
+      EXPECT_EQ(stats.affected_per_round.size(), stats.rounds);
+      EXPECT_EQ(stats.neighborhood_per_round.size(), stats.rounds);
+      EXPECT_EQ(stats.serial_per_round.size(), stats.rounds);
+      for (const std::uint8_t s : stats.serial_per_round) {
+        serial_rounds += s;
+      }
+    }
+    if (cutover == std::size_t{0}) {
+      // No frontier is <= 0, so every decision chose the parallel path.
+      EXPECT_EQ(stats.chose_serial, 0u);
+      EXPECT_EQ(serial_rounds, 0u);
+    } else if (cutover == ~std::size_t{0}) {
+      // Every decision (initial phase + each round) chose serial.
+      EXPECT_EQ(stats.chose_serial, stats.rounds + 1u);
+      if constexpr (contract::kStatsEnabled) {
+        EXPECT_EQ(serial_rounds, stats.rounds);
+      }
+    } else if constexpr (contract::kStatsEnabled) {
+      // Ambient default: whatever split happened, the counter and the
+      // per-round flags must tell the same story (the initial phase adds
+      // at most one extra decision).
+      EXPECT_GE(stats.chose_serial, serial_rounds);
+      EXPECT_LE(stats.chose_serial, serial_rounds + 1u);
+    }
+  }
+  par::clear_serial_cutover();
+}
+
+// The same accounting for construct(): the late contraction tail takes the
+// serial fast path, and chose_serial counts one decision per round.
+TEST(DynamicUpdate, ConstructCountsSerialTailRounds) {
+  Forest f = forest::build_tree(3000, 4, 0.6, 17, 0);
+
+  par::set_serial_cutover(~std::size_t{0});
+  ContractionForest all_serial(f.capacity(), 4, 9);
+  const contract::ConstructStats s1 = contract::construct(all_serial, f);
+  EXPECT_EQ(s1.chose_serial, s1.rounds);
+
+  par::set_serial_cutover(0);
+  ContractionForest all_parallel(f.capacity(), 4, 9);
+  const contract::ConstructStats s2 = contract::construct(all_parallel, f);
+  EXPECT_EQ(s2.chose_serial, 0u);
+  par::clear_serial_cutover();
+
+  // Same coins, same structure — the execution path must not matter.
+  EXPECT_TRUE(contract::structurally_equal(all_serial, all_parallel));
 }
 
 }  // namespace

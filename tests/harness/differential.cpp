@@ -12,6 +12,7 @@
 #include "contraction/validate.hpp"
 #include "forest/validation.hpp"
 #include "hashing/splitmix64.hpp"
+#include "parallel/adaptive.hpp"
 #include "parallel/scheduler.hpp"
 #include "rc/path_aggregate.hpp"
 #include "rc/rc_forest.hpp"
@@ -253,7 +254,26 @@ RunResult run_trace_impl(const Trace& t, const RunOptions& opts) {
 
 }  // namespace
 
+// Applies RunOptions::serial_cutover for the duration of a run and
+// restores the ambient configuration (env / auto-calibration) afterwards.
+class CutoverOverride {
+ public:
+  explicit CutoverOverride(const std::optional<std::size_t>& cutover)
+      : active_(cutover.has_value()) {
+    if (active_) par::set_serial_cutover(*cutover);
+  }
+  ~CutoverOverride() {
+    if (active_) par::clear_serial_cutover();
+  }
+  CutoverOverride(const CutoverOverride&) = delete;
+  CutoverOverride& operator=(const CutoverOverride&) = delete;
+
+ private:
+  bool active_;
+};
+
 RunResult run_trace(const Trace& t, const RunOptions& opts) {
+  const CutoverOverride cutover(opts.serial_cutover);
   if (opts.race_detect) {
 #if PARCT_RACE_DETECT
     // One session for the whole run: construct, every update, and every

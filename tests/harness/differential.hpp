@@ -17,7 +17,9 @@
 // failure — which is what makes shrinking and replay files possible.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "harness/trace.hpp"
@@ -41,6 +43,14 @@ struct RunOptions {
   /// -DPARCT_RACE_DETECT=ON; otherwise the run fails immediately with an
   /// explanatory message.
   bool race_detect = false;
+  /// Override the adaptive serial cutover (par::set_serial_cutover) for
+  /// the duration of the run: 0 pins every frontier to the parallel path,
+  /// SIZE_MAX pins the inline serial fast path, nullopt keeps the ambient
+  /// configuration (env / auto-calibration). The override is cleared when
+  /// the run returns. Used by the equivalence suites to prove both
+  /// execution paths produce identical structures (docs/PERFORMANCE.md
+  /// "Small-batch fast path").
+  std::optional<std::size_t> serial_cutover;
 };
 
 struct RunResult {

@@ -72,6 +72,56 @@ TEST_F(HarnessEquivalenceTest, CleanShortRunsAcrossShapes) {
   }
 }
 
+// Behavioral equality of both adaptive execution paths: the same traces,
+// forced always-parallel (cutover 0) and always-inline-serial (SIZE_MAX),
+// must pass every oracle — each run cross-checks against a from-scratch
+// construction, the LCT/ETT baselines, and the sequential re-simulation,
+// so a divergence anywhere in the fast path fails here.
+TEST_F(HarnessEquivalenceTest, EquivalenceSuitesAtSerialCutoverExtremes) {
+  const std::size_t cutovers[] = {0, ~std::size_t{0}};
+  for (const std::size_t cutover : cutovers) {
+    harness::RunOptions opts;
+    opts.serial_cutover = cutover;
+    for (const std::size_t shape : {std::size_t{0}, std::size_t{2},
+                                    std::size_t{4}}) {
+      harness::WorkloadConfig config = small_config(0xC07 + shape);
+      config.shape = static_cast<int>(shape % std::size(test::kShapes));
+      const harness::Trace t = harness::generate_trace(config);
+      const harness::RunResult r = harness::run_trace(t, opts);
+      EXPECT_TRUE(r.ok) << "cutover " << cutover << ", shape "
+                        << config.shape << ", step " << r.failed_step
+                        << ": " << r.failure;
+    }
+  }
+}
+
+// The CLI exposes the same override globally; a clean trace replays OK
+// under both extremes.
+TEST_F(HarnessEquivalenceTest, CliSerialCutoverFlagReplaysCleanly) {
+  const harness::Trace t = harness::generate_trace(small_config(37));
+  const std::string path = ::testing::TempDir() + "/parct-cutover-trace.txt";
+  harness::save_trace_file(t, path);
+
+  for (const char* cutover : {"0", "18446744073709551615"}) {
+    const std::string cmd = std::string(PARCT_CLI_PATH) +
+                            " --serial-cutover " + cutover + " replay " +
+                            path;
+    int code = -1;
+    const std::string out = run_command(cmd, &code);
+    EXPECT_EQ(code, 0) << "cutover " << cutover << ": " << out;
+    EXPECT_NE(out.find("OK"), std::string::npos) << out;
+  }
+
+  // A malformed value must be a usage error, not a silent zero.
+  int code = -1;
+  const std::string out = run_command(
+      std::string(PARCT_CLI_PATH) + " --serial-cutover banana replay " +
+          path,
+      &code);
+  EXPECT_NE(code, 0);
+  std::remove(path.c_str());
+}
+
 TEST_F(HarnessEquivalenceTest, GenerationIsDeterministicInTheSeed) {
   const harness::Trace a = harness::generate_trace(small_config(42));
   const harness::Trace b = harness::generate_trace(small_config(42));

@@ -20,6 +20,7 @@
 #include "forest/tree_builder.hpp"
 #include "harness/differential.hpp"
 #include "harness/workload.hpp"
+#include "parallel/adaptive.hpp"
 #include "parallel/fork_join.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/scheduler.hpp"
@@ -58,6 +59,28 @@ TEST_F(RaceDetectTest, PlantedWriteWriteRaceIsFlagged) {
       },
       DeterminacyRace);
   EXPECT_GE(session.races_detected(), 1u);
+}
+
+// The adaptive fast path must never hide accesses from the detector: a
+// sub-cutover extent would run inline outside a session, but under an
+// active session adaptive_for defers to parallel_for's grain-1 fork-tree
+// modeling — so a race planted in a region small enough for the serial
+// path is still flagged. Pinned at SIZE_MAX, the strongest serial forcing.
+TEST_F(RaceDetectTest, PlantedRaceBelowCutoverIsStillFlagged) {
+  par::set_serial_cutover(~std::size_t{0});
+  Session session(OnRace::kThrow);
+  std::vector<int> data(8, 0);
+  EXPECT_THROW(
+      {
+        PARCT_SHADOW_BUFFER(buf);
+        par::adaptive_for(0, data.size(), [&](std::size_t i) {
+          PARCT_SHADOW_WRITE(analysis::buffer_cell(buf, 0));
+          data[0] += static_cast<int>(i);
+        });
+      },
+      DeterminacyRace);
+  EXPECT_GE(session.races_detected(), 1u);
+  par::clear_serial_cutover();
 }
 
 TEST_F(RaceDetectTest, PlantedReadWriteRaceIsFlagged) {

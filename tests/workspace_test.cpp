@@ -177,6 +177,38 @@ TEST(WorkspaceSteadyState, PropagateIsAllocationFreeAfterWarmup) {
   par::scheduler::initialize(1);
 }
 
+// The adaptive serial fast path (par::AdaptivePhase; sub-cutover rounds
+// run inline) must preserve the allocation discipline: a warmed m=1 update
+// — whose every round takes the serial path under the default cutover —
+// still leases all scratch from the pool and never grows a buffer.
+TEST(WorkspaceSteadyState, SerialFastPathStaysAllocationFreeWarm) {
+  par::scheduler::initialize(1);
+  forest::Forest full = forest::build_tree(50000, 4, 0.6, 0xFA57ull);
+  auto [initial, batch] = forest::make_insert_batch(full, 1, 3);
+  forest::ChangeSet inverse;
+  inverse.remove_edges = batch.add_edges;
+
+  contract::ContractionForest c(full.capacity(), 4, 99);
+  contract::construct(c, initial);
+  contract::DynamicUpdater updater(c);
+  updater.apply(batch);  // warm-up cycle
+  updater.apply(inverse);
+
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    const contract::UpdateStats fwd = updater.apply(batch);
+    // The fast path must actually engage (m=1 frontiers are far below the
+    // default cutover) AND stay allocation-free.
+    EXPECT_GT(fwd.chose_serial, 0u) << "cycle " << cycle;
+    EXPECT_EQ(fwd.ws_misses, 0u) << "cycle " << cycle;
+    EXPECT_EQ(fwd.ws_container_growths, 0u) << "cycle " << cycle;
+    EXPECT_EQ(fwd.ws_bytes_allocated, 0u) << "cycle " << cycle;
+    const contract::UpdateStats inv = updater.apply(inverse);
+    EXPECT_GT(inv.chose_serial, 0u) << "cycle " << cycle;
+    EXPECT_EQ(inv.ws_misses, 0u) << "cycle " << cycle;
+    EXPECT_EQ(inv.ws_container_growths, 0u) << "cycle " << cycle;
+  }
+}
+
 // Same property for mixed delete batches: after the first application of a
 // given batch shape, re-applying comparable batches stays within the warmed
 // capacities.

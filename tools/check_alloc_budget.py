@@ -9,6 +9,16 @@ emitted line of that bench must satisfy counter <= ceiling for each
 budgeted counter, and at least one line must be present (so a bench that
 silently stopped emitting fails rather than vacuously passing).
 
+Besides plain numeric ceilings, a bench entry may carry:
+
+  "floors"        {counter: minimum} — every matching row must satisfy
+                  counter >= minimum (e.g. chose_serial >= 1 proves the
+                  adaptive serial fast path stayed engaged).
+  "floors_filter" {field: value} — restricts which rows the floors apply
+                  to (e.g. {"batch_m": 1} gates only the single-edge
+                  rows). At least one row must match, so a sweep that
+                  drops the gated configuration fails loudly.
+
 Timing fields are reported but never enforced — the budget gates only the
 allocation counters, which are deterministic. Exit status: 0 = all budgets
 met, 1 = violation or missing bench, 2 = usage/parse error.
@@ -56,7 +66,12 @@ def main(argv):
         return 2
 
     failures = 0
-    for bench, ceilings in budgets.items():
+    for bench, entry in budgets.items():
+        ceilings = {k: v for k, v in entry.items()
+                    if k not in ("floors", "floors_filter")}
+        floors = entry.get("floors", {})
+        floors_filter = entry.get("floors_filter", {})
+
         rows = [d for d in lines if d.get("bench") == bench]
         if not rows:
             print(f"FAIL {bench}: no stats lines emitted "
@@ -65,10 +80,28 @@ def main(argv):
             continue
         worst = {key: max(r.get(key, 0) for r in rows) for key in ceilings}
         ok = all(worst[key] <= ceilings[key] for key in ceilings)
-        status = "ok  " if ok else "FAIL"
         detail = ", ".join(
             f"{key}={worst[key]} (budget {ceilings[key]})" for key in ceilings
         )
+
+        if floors:
+            gated = [r for r in rows
+                     if all(r.get(f) == v for f, v in floors_filter.items())]
+            if not gated:
+                ok = False
+                detail += (f"; no rows match floors_filter {floors_filter}"
+                           if detail else
+                           f"no rows match floors_filter {floors_filter}")
+            else:
+                least = {key: min(r.get(key, 0) for r in gated)
+                         for key in floors}
+                ok = ok and all(least[key] >= floors[key] for key in floors)
+                detail += "; " + ", ".join(
+                    f"{key}={least[key]} (floor {floors[key]}, "
+                    f"{len(gated)} gated row(s))" for key in floors
+                )
+
+        status = "ok  " if ok else "FAIL"
         print(f"{status} {bench}: {len(rows)} line(s); {detail}")
         if not ok:
             failures += 1

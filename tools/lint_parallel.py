@@ -35,6 +35,12 @@ Rules (see docs/STATIC_ANALYSIS.md):
                   immutable Snapshot; a live read would race the update
                   thread that may be propagating the successor version
                   concurrently (docs/OBSERVABILITY.md "Serving epochs").
+  adaptive-for    raw par::parallel_for / parallel_for_blocked calls in
+                  src/contraction/ — frontier-sized loops must go through
+                  par::adaptive_for so sub-cutover frontiers take the
+                  inline serial fast path (docs/PERFORMANCE.md "Small-batch
+                  fast path"); a raw call pays full fork/join scaffolding
+                  on every tiny round.
   fault-macro     direct use of fault::detail::should_fire/stall or a bare
                   `#if PARCT_FAULT_INJECT` in src/ outside src/fault/ —
                   injection sites must go through PARCT_FAULT_POINT /
@@ -141,6 +147,15 @@ LIVE_STRUCTURE = re.compile(r"\b(c_|rcf_|agg_|updater_|mirror_|store_)\s*\.")
 # contains no trace of the injection sites.
 FAULT_DETAIL = re.compile(r"\bfault::detail::(should_fire|stall)\b")
 FAULT_IFDEF = re.compile(r"#\s*(el)?if(def)?\b.*\bPARCT_FAULT_INJECT\b")
+
+# adaptive-for: raw parallel_for call sites (not #includes — those carry no
+# '(' after the name). src/parallel/ itself implements both spellings.
+RAW_PARALLEL_FOR = re.compile(r"\bparallel_for(_blocked)?\s*\(")
+
+# Loop constructs that open a tracked lambda extent for the shadow-write /
+# vector-in-phase rules; adaptive_for bodies are the same bodies
+# parallel_for would run, so the rules must keep applying inside them.
+TRACKED_LOOP = re.compile(r"\b(parallel_for(_blocked)?|adaptive_for)\s*\(")
 
 
 def allowed(rule: str, lines: list[str], idx: int) -> bool:
@@ -300,6 +315,17 @@ def lint_file(path: Path, findings: list[str]) -> None:
                     "OFF builds"
                 )
 
+        # adaptive-for: frontier loops in src/contraction/ must use the
+        # size-adaptive spelling.
+        if in_contraction and RAW_PARALLEL_FOR.search(code):
+            if not allowed("adaptive-for", lines, idx):
+                findings.append(
+                    f"{loc}: adaptive-for: raw parallel_for in "
+                    "src/contraction/ — use par::adaptive_for so "
+                    "sub-cutover frontiers take the serial fast path "
+                    "(docs/PERFORMANCE.md)"
+                )
+
         # Track hot-phase function extents (definitions only: call sites
         # end their statement with ';').
         if (
@@ -321,10 +347,8 @@ def lint_file(path: Path, findings: list[str]) -> None:
             query_depth = depth
             query_entered = False
 
-        # Track parallel_for lambda extents by brace depth.
-        if track_lambdas and re.search(
-            r"\bparallel_for(_blocked)?\s*\(", code
-        ):
+        # Track parallel_for / adaptive_for lambda extents by brace depth.
+        if track_lambdas and TRACKED_LOOP.search(code):
             depth_stack.append(depth)
         opens = code.count("{")
         closes = code.count("}")
@@ -494,6 +518,61 @@ def self_test() -> int:
             "  std::vector<int> fine;\n"
             "}\n",
             None,
+        ),
+        (
+            # Raw parallel_for in src/contraction/ must be adaptive_for.
+            "src/contraction/foo.cpp",
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t k) { g(k); });\n"
+            "}\n",
+            "adaptive-for",
+        ),
+        (
+            "src/contraction/foo.cpp",
+            "void f() {\n"
+            "  // parct-lint: allow(adaptive-for) reason: test fixture\n"
+            "  par::parallel_for(0, n, [&](std::size_t k) { g(k); });\n"
+            "}\n",
+            None,
+        ),
+        (
+            # The adaptive spelling is the sanctioned one; the #include of
+            # parallel_for.hpp (no call parens) is not a finding either.
+            "src/contraction/foo.cpp",
+            '#include "parallel/parallel_for.hpp"\n'
+            "void f() {\n"
+            "  par::adaptive_for(0, n, [&](std::size_t k) { g(k); });\n"
+            "}\n",
+            None,
+        ),
+        (
+            # Outside src/contraction/ raw parallel_for stays legal.
+            "src/rc/foo.cpp",
+            "void f() {\n"
+            "  par::parallel_for(0, n, [&](std::size_t k) { g(k); });\n"
+            "}\n",
+            None,
+        ),
+        (
+            # adaptive_for bodies are tracked lambda extents: the
+            # vector-in-phase rule keeps applying inside them.
+            "src/contraction/foo.cpp",
+            "void f() {\n"
+            "  par::adaptive_for(0, n, [&](std::size_t k) {\n"
+            "    std::vector<int> tmp(4);\n"
+            "  });\n"
+            "}\n",
+            "vector-in-phase",
+        ),
+        (
+            # ...and so does shadow-write in instrumented files.
+            "src/primitives/scan.hpp",
+            "void f() {\n"
+            "  par::adaptive_for(0, n, [&](std::size_t b) {\n"
+            "    sums[b] = 1;\n"
+            "  });\n"
+            "}\n",
+            "shadow-write",
         ),
         (
             # Query path reading the live RCForest instead of the snapshot.

@@ -28,6 +28,7 @@
 #include "forest/validation.hpp"
 #include "harness/differential.hpp"
 #include "harness/trace.hpp"
+#include "parallel/adaptive.hpp"
 #include "parallel/scheduler.hpp"
 
 using namespace parct;
@@ -60,13 +61,21 @@ double parse_double(const char* s) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage:\n"
+               "usage: parct_cli [--serial-cutover N] <command> ...\n"
                "  parct_cli gen <n> <chain_factor> <seed> <file>\n"
                "  parct_cli info <file>\n"
                "  parct_cli update <file> <out> del|ins <k> <seed>\n"
                "  parct_cli validate <file>\n"
                "  parct_cli dot <file> <round>\n"
-               "  parct_cli replay [--race-detect] <trace>\n");
+               "  parct_cli replay [--race-detect] <trace>\n"
+               "\n"
+               "  --serial-cutover N  adaptive serial cutover override: "
+               "frontiers of at\n"
+               "                      most N run inline (0 = always "
+               "parallel, max = always\n"
+               "                      serial); overrides "
+               "PARCT_SERIAL_CUTOVER and the\n"
+               "                      auto-calibrated default\n");
   return 2;
 }
 
@@ -248,8 +257,19 @@ int cmd_replay(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
   try {
+    // Global option: --serial-cutover N (anywhere before the command).
+    // Applied via par::set_serial_cutover, so every subcommand's
+    // construct/update work honors it (docs/PERFORMANCE.md "Small-batch
+    // fast path").
+    while (argc >= 2 && std::strcmp(argv[1], "--serial-cutover") == 0) {
+      if (argc < 3) return usage();
+      par::set_serial_cutover(
+          static_cast<std::size_t>(parse_u64(argv[2])));
+      for (int i = 3; i < argc; ++i) argv[i - 2] = argv[i];
+      argc -= 2;
+    }
+    if (argc < 2) return usage();
     if (std::strcmp(argv[1], "gen") == 0) return cmd_gen(argc, argv);
     if (std::strcmp(argv[1], "info") == 0) return cmd_info(argc, argv);
     if (std::strcmp(argv[1], "update") == 0) return cmd_update(argc, argv);
