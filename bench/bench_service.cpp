@@ -131,7 +131,12 @@ double run_config(contract::ContractionForest& c, const forest::Forest& f,
       .num("max_query_queue_depth", s.max_query_queue_depth)
       .num("max_update_queue_depth", s.max_update_queue_depth)
       .num("snapshot_buffers_reused", s.snapshot_buffers_reused)
-      .num("snapshot_buffers_allocated", s.snapshot_buffers_allocated);
+      .num("snapshot_buffers_allocated", s.snapshot_buffers_allocated)
+      .num("wal_records", s.wal_records)
+      .num("wal_bytes", s.wal_bytes)
+      .num("checkpoints_written", s.checkpoints_written)
+      .num("checkpoint_failures", s.checkpoint_failures)
+      .num("recovery_replayed", s.recovery_replayed);
   dump.emit();
   return secs;
 }

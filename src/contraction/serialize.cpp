@@ -12,6 +12,15 @@ namespace {
 constexpr std::uint64_t kMagic = 0x50415243'54434631ull;  // "PARCTCF1"
 constexpr std::uint32_t kVersion = 1;
 
+// Bounds on header fields read from an untrusted stream. A corrupt
+// `capacity` or per-vertex `duration` must not translate into a multi-GB
+// allocation before truncation is detected: both are rejected up front,
+// and the history is grown in bounded chunks as vertex payloads actually
+// arrive, so a lying header can waste at most one chunk of memory.
+constexpr std::uint64_t kMaxLoadCapacity = 1ull << 32;  // 4G vertices
+constexpr std::uint32_t kMaxLoadRounds = 1u << 20;      // rounds per vertex
+constexpr std::uint64_t kCapacityChunk = 1ull << 16;
+
 template <typename T>
 void put(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof value);
@@ -43,6 +52,10 @@ void save(const ContractionForest& c, std::ostream& out) {
       for (VertexId u : r.children) put(out, u);
     }
   }
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("parct::save: stream write failed");
+  }
 }
 
 ContractionForest load(std::istream& in) {
@@ -58,15 +71,32 @@ ContractionForest load(std::istream& in) {
   if (degree_bound < 1 || degree_bound > kMaxDegree) {
     throw std::runtime_error("parct::load: bad degree bound");
   }
+  if (capacity > kMaxLoadCapacity) {
+    throw std::runtime_error("parct::load: capacity exceeds sane bound");
+  }
 
-  ContractionForest c(capacity, static_cast<int>(degree_bound), seed);
+  // Start small and grow in chunks while vertex payloads keep arriving:
+  // the declared capacity only commits memory once the stream has actually
+  // delivered bytes to back it.
+  ContractionForest c(static_cast<std::size_t>(
+                          std::min<std::uint64_t>(capacity, kCapacityChunk)),
+                      static_cast<int>(degree_bound), seed);
   std::uint32_t max_rounds = 0;
   for (VertexId v = 0; v < capacity; ++v) {
+    if (v >= c.capacity()) {
+      c.ensure_capacity(static_cast<std::size_t>(
+          std::min<std::uint64_t>(capacity, c.capacity() + kCapacityChunk)));
+    }
     const std::uint32_t d = get<std::uint32_t>(in);
+    if (d > kMaxLoadRounds) {
+      throw std::runtime_error("parct::load: vertex duration exceeds bound");
+    }
     c.set_duration(v, d);
-    if (d > 0) c.ensure_round(v, d - 1);
     max_rounds = std::max(max_rounds, d);
     for (std::uint32_t i = 0; i < d; ++i) {
+      // Grow the round vector as records actually arrive (vector capacity
+      // doubles underneath), not up front from the untrusted duration.
+      c.ensure_round(v, i);
       RoundRecord& r = c.record_mut(i, v);
       r.parent = get<VertexId>(in);
       r.parent_slot = get<std::uint8_t>(in);
@@ -75,8 +105,10 @@ ContractionForest load(std::istream& in) {
       }
     }
   }
+  c.ensure_capacity(static_cast<std::size_t>(capacity));
   // Re-derive the coin schedule far enough for the recorded rounds (and
-  // one extra, like the algorithms keep).
+  // one extra, like the algorithms keep). max_rounds is bounded by
+  // kMaxLoadRounds above, so the +1 cannot wrap.
   c.coins().ensure_rounds(max_rounds + 1);
   return c;
 }

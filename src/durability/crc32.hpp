@@ -1,0 +1,46 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte ranges —
+// the integrity check trailing every checkpoint section and WAL record
+// (docs/DURABILITY.md). Table is computed at compile time; no state, no
+// dependencies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace parct::durability {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// CRC32 of `n` bytes at `data`; chainable via `seed` (pass a previous
+/// result to continue a running checksum).
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(std::string_view bytes) {
+  return crc32(bytes.data(), bytes.size());
+}
+
+}  // namespace parct::durability

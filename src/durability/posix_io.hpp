@@ -1,0 +1,97 @@
+// Internal POSIX file-descriptor helpers for the durability layer: RAII
+// fd ownership, full-buffer writes, and the durable-sync points where the
+// `durability-fsync` fault site is armed. The durability layer writes
+// through raw fds (not std::ofstream) so that fsync and O_APPEND are
+// available and write errors are never swallowed by stream state — the
+// `durability-io` lint rule keeps other service/durability code off ad-hoc
+// file output entirely.
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "fault/fault_injection.hpp"
+
+namespace parct::durability::detail {
+
+/// Move-only owner of a POSIX file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.fd_;
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+inline std::runtime_error io_error(const std::string& what,
+                                   const std::string& path) {
+  return std::runtime_error("parct::durability: " + what + " '" + path +
+                            "': " + std::strerror(errno));
+}
+
+/// O_WRONLY|O_CREAT|O_TRUNC — a fresh file (WAL segment, checkpoint tmp).
+inline Fd open_trunc(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw io_error("cannot create", path);
+  return Fd(fd);
+}
+
+/// Writes all `n` bytes (retrying short writes); throws on any error.
+inline void write_fully(const Fd& fd, const char* data, std::size_t n,
+                        const std::string& path) {
+  while (n > 0) {
+    const ::ssize_t w = ::write(fd.get(), data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw io_error("write failed on", path);
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// fsync with the `durability-fsync` fault site armed in front of it: a
+/// firing hit throws InjectedFault *before* the data is forced to disk,
+/// modelling a crash with the bytes still in the page cache.
+inline void durable_sync(const Fd& fd, const std::string& path) {
+  if (PARCT_FAULT_POINT(fault::Site::kDurabilityFsync)) {
+    throw fault::InjectedFault(fault::Site::kDurabilityFsync);
+  }
+  if (::fsync(fd.get()) != 0) throw io_error("fsync failed on", path);
+}
+
+/// fsyncs a directory so a freshly created/renamed entry is durable.
+inline void sync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw io_error("cannot open directory", dir);
+  Fd d(fd);
+  durable_sync(d, dir);
+}
+
+}  // namespace parct::durability::detail

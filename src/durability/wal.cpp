@@ -1,0 +1,176 @@
+#include "durability/wal.hpp"
+
+#include <charconv>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "durability/crc32.hpp"
+
+namespace parct::durability {
+
+namespace {
+
+constexpr std::uint64_t kMaxWeightPairs = 1ull << 32;
+
+template <typename T>
+void put(std::string& out, const T& value) {
+  const char* p = reinterpret_cast<const char*>(&value);
+  out.append(p, sizeof value);
+}
+
+// Cursor-based reads over an in-memory segment image. Returns false on
+// exhaustion instead of throwing: a short read *is* the torn-tail signal.
+template <typename T>
+bool get(const std::string& buf, std::size_t& pos, T& value) {
+  if (pos > buf.size() || buf.size() - pos < sizeof value) return false;
+  std::memcpy(&value, buf.data() + pos, sizeof value);
+  pos += sizeof value;
+  return true;
+}
+
+// Record payload: format version (u16), service version (u64), the
+// ChangeSet binary encoding, then the (vertex, weight) assignments.
+std::string encode_payload(const WalRecord& rec) {
+  std::ostringstream body;
+  forest::save_change_set(rec.batch, body);
+  std::string out;
+  put(out, static_cast<std::uint16_t>(kWalFormatVersion));
+  put(out, rec.version);
+  out += body.str();
+  put(out, static_cast<std::uint64_t>(rec.vertex_weights.size()));
+  for (const auto& [v, w] : rec.vertex_weights) {
+    put(out, v);
+    put(out, static_cast<std::int64_t>(w));
+  }
+  return out;
+}
+
+bool decode_payload(const std::string& payload, WalRecord& rec) {
+  std::size_t pos = 0;
+  std::uint16_t fmt = 0;
+  if (!get(payload, pos, fmt) || fmt != kWalFormatVersion) return false;
+  if (!get(payload, pos, rec.version)) return false;
+  // The ChangeSet decoder is stream-based; hand it the rest of the
+  // payload and pick the cursor back up from the stream position.
+  std::istringstream body(payload.substr(pos));
+  try {
+    rec.batch = forest::load_change_set(body);
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  const std::streampos consumed = body.tellg();
+  if (consumed < 0) return false;
+  pos += static_cast<std::size_t>(consumed);
+  std::uint64_t n = 0;
+  if (!get(payload, pos, n) || n > kMaxWeightPairs) return false;
+  rec.vertex_weights.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    VertexId v = 0;
+    std::int64_t w = 0;
+    if (!get(payload, pos, v) || !get(payload, pos, w)) return false;
+    rec.vertex_weights.emplace_back(v, static_cast<Weight>(w));
+  }
+  return pos == payload.size();
+}
+
+}  // namespace
+
+std::string wal_filename(std::uint64_t base_version) {
+  return "wal-" + std::to_string(base_version) + ".log";
+}
+
+std::optional<std::uint64_t> wal_base_of(const std::string& filename) {
+  constexpr std::string_view prefix = "wal-";
+  constexpr std::string_view suffix = ".log";
+  if (filename.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (filename.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (filename.compare(filename.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string_view digits(filename.data() + prefix.size(),
+                                filename.size() - prefix.size() -
+                                    suffix.size());
+  std::uint64_t base = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), base);
+  if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+    return std::nullopt;
+  }
+  return base;
+}
+
+WalWriter::WalWriter(const std::string& dir, std::uint64_t base_version)
+    : path_(dir + "/" + wal_filename(base_version)), base_(base_version) {
+  fd_ = detail::open_trunc(path_);
+  std::string header;
+  put(header, kWalMagic);
+  put(header, kWalFormatVersion);
+  put(header, base_);
+  detail::write_fully(fd_, header.data(), header.size(), path_);
+  detail::durable_sync(fd_, path_);
+  bytes_ = header.size();
+}
+
+void WalWriter::append(const WalRecord& rec) {
+  const std::string payload = encode_payload(rec);
+  std::string frame;
+  put(frame, static_cast<std::uint32_t>(payload.size()));
+  put(frame, crc32(payload));
+  frame += payload;
+  // Fault site: a crash mid-append. A firing hit writes only a prefix of
+  // the frame — a genuinely torn tail record for recovery to detect.
+  if (PARCT_FAULT_POINT(fault::Site::kWalAppend)) {
+    detail::write_fully(fd_, frame.data(), frame.size() / 2, path_);
+    throw fault::InjectedFault(fault::Site::kWalAppend);
+  }
+  detail::write_fully(fd_, frame.data(), frame.size(), path_);
+  detail::durable_sync(fd_, path_);
+  ++records_;
+  bytes_ += frame.size();
+}
+
+SegmentContents read_wal_segment(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("parct::durability: cannot open WAL segment '" +
+                             path + "'");
+  }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string buf = raw.str();
+
+  SegmentContents seg;
+  std::size_t pos = 0;
+  std::uint64_t magic = 0;
+  std::uint32_t fmt = 0;
+  if (!get(buf, pos, magic) || magic != kWalMagic || !get(buf, pos, fmt) ||
+      fmt != kWalFormatVersion || !get(buf, pos, seg.base_version)) {
+    // Torn or foreign header: the segment contributes nothing.
+    seg.clean = false;
+    return seg;
+  }
+  for (;;) {
+    if (pos == buf.size()) break;  // clean end
+    std::uint32_t len = 0;
+    std::uint32_t crc = 0;
+    if (!get(buf, pos, len) || !get(buf, pos, crc) ||
+        buf.size() - pos < len) {
+      seg.clean = false;  // torn tail: frame header or payload cut short
+      break;
+    }
+    const std::string payload = buf.substr(pos, len);
+    pos += len;
+    WalRecord rec;
+    if (crc32(payload) != crc || !decode_payload(payload, rec)) {
+      seg.clean = false;  // corrupt record: stop at the intact prefix
+      break;
+    }
+    seg.records.push_back(std::move(rec));
+  }
+  return seg;
+}
+
+}  // namespace parct::durability

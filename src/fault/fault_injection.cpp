@@ -14,8 +14,9 @@ namespace parct::fault {
 namespace {
 
 constexpr const char* kSiteNames[kNumSites] = {
-    "workspace-acquire", "scheduler-steal", "serial-handoff", "epoch-apply",
-    "queue-admission",
+    "workspace-acquire", "scheduler-steal",    "serial-handoff",
+    "epoch-apply",       "queue-admission",    "durability-fsync",
+    "durability-rename", "wal-append",
 };
 
 constexpr const char* kModeNames[] = {"off", "once", "periodic", "burst"};

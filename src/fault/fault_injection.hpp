@@ -52,8 +52,14 @@ enum class Site : unsigned {
   kEpochApply,            ///< BatchServer epoch-apply boundary — fires an
                           ///< InjectedFault abort (pre-mutation)
   kQueueAdmission,        ///< BatchServer submit_* — fires an admission drop
+  kDurabilityFsync,       ///< durability fsync (WAL or checkpoint) — fires an
+                          ///< InjectedFault before the data reaches disk
+  kDurabilityRename,      ///< checkpoint publish rename — fires an
+                          ///< InjectedFault, leaving only the .tmp file
+  kWalAppend,             ///< WAL record append — fires an InjectedFault
+                          ///< after a *partial* write (a torn tail record)
 };
-inline constexpr std::size_t kNumSites = 5;
+inline constexpr std::size_t kNumSites = 8;
 
 /// Stable spec-format name of a site ("workspace-acquire", ...).
 const char* site_name(Site s);

@@ -1,5 +1,9 @@
 #include "forest/change_set.hpp"
 
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "forest/validation.hpp"
@@ -104,6 +108,81 @@ Forest apply_change_set(const Forest& f, const ChangeSet& m) {
   for (VertexId v : m.add_vertices) g.add_vertex(v);
   for (const Edge& e : m.add_edges) g.link(e.child, e.parent);
   return g;
+}
+
+namespace {
+
+// Guard against corrupt counts: no real batch approaches this, and the
+// durability WAL frames each record with a length + CRC, so anything
+// larger is stream corruption, not data.
+constexpr std::uint64_t kMaxChangeSetElems = 1ull << 32;
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("parct::load_change_set: truncated");
+  return value;
+}
+
+void read_vertices(std::istream& in, std::uint64_t n,
+                   std::vector<VertexId>& out) {
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(get<VertexId>(in));
+}
+
+void read_edges(std::istream& in, std::uint64_t n, std::vector<Edge>& out) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const VertexId child = get<VertexId>(in);
+    const VertexId parent = get<VertexId>(in);
+    out.push_back({child, parent});
+  }
+}
+
+}  // namespace
+
+void save_change_set(const ChangeSet& m, std::ostream& out) {
+  put(out, static_cast<std::uint64_t>(m.remove_vertices.size()));
+  put(out, static_cast<std::uint64_t>(m.remove_edges.size()));
+  put(out, static_cast<std::uint64_t>(m.add_vertices.size()));
+  put(out, static_cast<std::uint64_t>(m.add_edges.size()));
+  for (VertexId v : m.remove_vertices) put(out, v);
+  for (const Edge& e : m.remove_edges) {
+    put(out, e.child);
+    put(out, e.parent);
+  }
+  for (VertexId v : m.add_vertices) put(out, v);
+  for (const Edge& e : m.add_edges) {
+    put(out, e.child);
+    put(out, e.parent);
+  }
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("parct::save_change_set: stream write failed");
+  }
+}
+
+ChangeSet load_change_set(std::istream& in) {
+  const std::uint64_t nvm = get<std::uint64_t>(in);
+  const std::uint64_t nem = get<std::uint64_t>(in);
+  const std::uint64_t nvp = get<std::uint64_t>(in);
+  const std::uint64_t nep = get<std::uint64_t>(in);
+  if (nvm > kMaxChangeSetElems || nem > kMaxChangeSetElems ||
+      nvp > kMaxChangeSetElems || nep > kMaxChangeSetElems) {
+    throw std::runtime_error("parct::load_change_set: count exceeds bound");
+  }
+  // push_back-grown (geometric capacity), never reserved from the
+  // untrusted counts: truncation surfaces before memory is committed.
+  ChangeSet m;
+  read_vertices(in, nvm, m.remove_vertices);
+  read_edges(in, nem, m.remove_edges);
+  read_vertices(in, nvp, m.add_vertices);
+  read_edges(in, nep, m.add_edges);
+  return m;
 }
 
 }  // namespace parct::forest

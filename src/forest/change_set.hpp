@@ -9,6 +9,7 @@
 // of V- must appear in E-.
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,5 +59,17 @@ std::optional<std::string> check_change_set(const Forest& f,
 /// Applies `m` to a copy of `f` and returns the edited forest. Asserts the
 /// preconditions in debug builds (use check_change_set for full checking).
 Forest apply_change_set(const Forest& f, const ChangeSet& m);
+
+/// Binary encoding of a ChangeSet (little-endian hosts): four u64 element
+/// counts (V-, E-, V+, E+) followed by the element payloads. This is the
+/// record body of the durability write-ahead log (docs/DURABILITY.md).
+/// Throws std::runtime_error if the stream reports a write failure.
+void save_change_set(const ChangeSet& m, std::ostream& out);
+
+/// Inverse of save_change_set. Element storage grows only as elements
+/// actually arrive from the stream, so corrupt counts cannot drive a huge
+/// up-front allocation. Throws std::runtime_error on truncation or on
+/// counts beyond a sane bound.
+ChangeSet load_change_set(std::istream& in);
 
 }  // namespace parct::forest

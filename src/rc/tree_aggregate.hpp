@@ -232,30 +232,37 @@ inline constexpr std::uint64_t kAggregateMagic =
 inline constexpr std::uint32_t kAggregateVersion = 1;
 }  // namespace detail
 
-/// Writes `agg`'s weight table to `out` (little-endian hosts). T must be
-/// trivially copyable — raw-byte image, like contraction::save.
+/// Writes a raw weight table to `out` (little-endian hosts). T must be
+/// trivially copyable — raw-byte image, like contraction::save. Throws
+/// std::runtime_error if the stream reports a write failure, so a full
+/// disk cannot silently truncate a checkpoint.
 template <typename T>
-void save_aggregate(const TreeAggregate<T>& agg, std::ostream& out) {
+void save_weight_table(const std::vector<T>& w, std::ostream& out) {
   static_assert(std::is_trivially_copyable_v<T>,
-                "save_aggregate stores raw weight bytes");
+                "save_weight_table stores raw weight bytes");
   auto put = [&out](const auto& value) {
     out.write(reinterpret_cast<const char*>(&value), sizeof value);
   };
   put(detail::kAggregateMagic);
   put(detail::kAggregateVersion);
   put(static_cast<std::uint32_t>(sizeof(T)));
-  const std::vector<T>& w = agg.weights();
   put(static_cast<std::uint64_t>(w.size()));
   for (const T& x : w) put(x);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("parct::save_weight_table: stream write failed");
+  }
 }
 
-/// Reads a weight table written by save_aggregate and binds it to `rc`,
-/// rebuilding the accumulators. Throws std::runtime_error on a malformed
-/// stream or a capacity/type mismatch with `rc`.
+/// Reads a weight table written by save_weight_table. `expected_size`
+/// bounds the allocation: a stream declaring a different size is rejected
+/// before any weight bytes are read, so a corrupt header cannot drive a
+/// huge allocation. Throws std::runtime_error on any mismatch/truncation.
 template <typename T>
-TreeAggregate<T> load_aggregate(const RCForest& rc, std::istream& in) {
+std::vector<T> load_weight_table(std::istream& in,
+                                 std::uint64_t expected_size) {
   static_assert(std::is_trivially_copyable_v<T>,
-                "load_aggregate reads raw weight bytes");
+                "load_weight_table reads raw weight bytes");
   auto get = [&in](auto& value) {
     in.read(reinterpret_cast<char*>(&value), sizeof value);
     if (!in) throw std::runtime_error("parct::load_aggregate: truncated");
@@ -277,12 +284,27 @@ TreeAggregate<T> load_aggregate(const RCForest& rc, std::istream& in) {
   }
   std::uint64_t n = 0;
   get(n);
-  if (n != rc.structure().capacity()) {
+  if (n != expected_size) {
     throw std::runtime_error(
         "parct::load_aggregate: capacity does not match the bound forest");
   }
-  std::vector<T> w(n);
+  std::vector<T> w(static_cast<std::size_t>(n));
   for (T& x : w) get(x);
+  return w;
+}
+
+/// Writes `agg`'s weight table to `out`; see save_weight_table.
+template <typename T>
+void save_aggregate(const TreeAggregate<T>& agg, std::ostream& out) {
+  save_weight_table(agg.weights(), out);
+}
+
+/// Reads a weight table written by save_aggregate and binds it to `rc`,
+/// rebuilding the accumulators. Throws std::runtime_error on a malformed
+/// stream or a capacity/type mismatch with `rc`.
+template <typename T>
+TreeAggregate<T> load_aggregate(const RCForest& rc, std::istream& in) {
+  std::vector<T> w = load_weight_table<T>(in, rc.structure().capacity());
   return TreeAggregate<T>(rc, std::move(w));
 }
 

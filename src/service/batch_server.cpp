@@ -2,28 +2,41 @@
 
 #include <algorithm>
 #include <exception>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 
 #include "analysis/annotations.hpp"
 #include "analysis/shadow_keys.hpp"
 #include "contraction/telemetry.hpp"
+#include "durability/manager.hpp"
 #include "fault/fault_injection.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/scheduler.hpp"
 
 namespace parct::service {
 
+static_assert(std::is_same_v<Weight, durability::Weight>,
+              "the WAL/checkpoint weight encoding must match the serving "
+              "weight type");
+
 BatchServer::BatchServer(contract::ContractionForest& c, ServiceConfig config,
-                         std::vector<Weight> weights)
+                         std::vector<Weight> weights,
+                         std::uint64_t initial_version)
     : c_(c),
       updater_(c),
       rcf_(c),
       agg_(rcf_, std::move(weights)),
       mirror_(config.validate_updates ? c.extract_forest()
                                       : forest::Forest(0)),
-      cfg_(config) {
-  publish_version(0);
+      cfg_(config),
+      version_(initial_version) {
+  // A durable server always appends to a segment based at its own initial
+  // version; any same-named leftover holds only records recovery already
+  // discarded (see durability::Manager::open_log).
+  if (cfg_.durability) cfg_.durability->open_log(version_);
+  publish_version(version_);
 }
 
 BatchServer::~BatchServer() { stop(); }
@@ -459,6 +472,7 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
 
   double publish_secs = 0;
   bool applied = false;
+  std::uint64_t checkpoint_failed = 0;
   if (update) {
     if (update_error) {
       if (abort_exhausted) {
@@ -475,31 +489,71 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
         update->promise.set_exception(update_error);
       }
     } else {
-      const auto t_p = contract::stats_now();
-      // Repair the derived layers over the affected region: the touched
-      // set is the event-fired vertices plus the batch's V- (which fires
-      // no event). prepare_update must see the pre-refresh events (old
-      // representatives), so it runs before refresh.
-      std::vector<VertexId>& tv = touched.vertices();
-      tv.insert(tv.end(), update->request.batch.remove_vertices.begin(),
-                update->request.batch.remove_vertices.end());
-      agg_.prepare_update(tv);
-      rcf_.refresh(tv);
-      agg_.apply_update();
-      for (const auto& [v, w] : update->request.vertex_weights) {
-        if (v < rcf_.size() && rcf_.present(v)) agg_.set_weight(v, w);
+      // Write-ahead: the applied batch must be durable before the version
+      // publishes and the submitter's future resolves. Logging *after* a
+      // successful apply keeps the WAL equal to the exactly-applied
+      // history (an EpochAborted batch never reaches the log); logging
+      // *before* publish keeps every acknowledged update durable.
+      bool durable = true;
+      if (cfg_.durability) {
+        try {
+          cfg_.durability->append(version_ + 1, update->request.batch,
+                                  update->request.vertex_weights);
+        } catch (...) {
+          // The in-memory structure now leads the durable state (the
+          // segment tail may even be torn). Fail-stop for updates: this
+          // future rejects (the update was NOT acknowledged), the version
+          // is not published, and later updates are refused — while
+          // queries keep serving the last published (fully durable)
+          // snapshot. Recovery from disk restores exactly the
+          // acknowledged history.
+          durable = false;
+          failed_ = true;
+          update->promise.set_exception(std::make_exception_ptr(
+              DurabilityLost("BatchServer: WAL append failed; the update "
+                             "was applied in memory but is not durable")));
+        }
       }
-      if (cfg_.validate_updates) {
-        mirror_ = forest::apply_change_set(mirror_, update->request.batch);
+      if (durable) {
+        const auto t_p = contract::stats_now();
+        // Repair the derived layers over the affected region: the touched
+        // set is the event-fired vertices plus the batch's V- (which fires
+        // no event). prepare_update must see the pre-refresh events (old
+        // representatives), so it runs before refresh.
+        std::vector<VertexId>& tv = touched.vertices();
+        tv.insert(tv.end(), update->request.batch.remove_vertices.begin(),
+                  update->request.batch.remove_vertices.end());
+        agg_.prepare_update(tv);
+        rcf_.refresh(tv);
+        agg_.apply_update();
+        for (const auto& [v, w] : update->request.vertex_weights) {
+          if (v < rcf_.size() && rcf_.present(v)) agg_.set_weight(v, w);
+        }
+        if (cfg_.validate_updates) {
+          mirror_ = forest::apply_change_set(mirror_, update->request.batch);
+        }
+        ++version_;
+        publish_version(version_);
+        publish_secs = contract::stats_since(t_p);
+        // Fulfilled only after publication: a waiter that then calls
+        // snapshot() observes its own write — including after a retried
+        // epoch (read-your-writes holds across retries).
+        update->promise.set_value(UpdateResult{version_, ustats});
+        applied = true;
+        // Background checkpointing: roll the WAL up into a fresh
+        // checkpoint every checkpoint_every updates. Failure here is
+        // degradation, not an error: the rename is the commit point, so
+        // the previous checkpoint (plus the still-growing WAL) remains a
+        // complete recovery image, and the next interval retries.
+        if (cfg_.durability && cfg_.checkpoint_every != 0 &&
+            version_ % cfg_.checkpoint_every == 0) {
+          try {
+            cfg_.durability->checkpoint(c_, agg_.weights(), version_);
+          } catch (...) {
+            ++checkpoint_failed;
+          }
+        }
       }
-      ++version_;
-      publish_version(version_);
-      publish_secs = contract::stats_since(t_p);
-      // Fulfilled only after publication: a waiter that then calls
-      // snapshot() observes its own write — including after a retried
-      // epoch (read-your-writes holds across retries).
-      update->promise.set_value(UpdateResult{version_, ustats});
-      applied = true;
     }
   }
   const double epoch_secs = contract::stats_since(t_epoch);
@@ -515,6 +569,7 @@ bool BatchServer::process_epoch(std::vector<PendingQuery> queries,
     stats_.queries_shed += shed_items;
     stats_.deadline_rejections += deadline_rejected;
     stats_.epoch_retries += retries;
+    stats_.checkpoint_failures += checkpoint_failed;
     if (applied) {
       ++stats_.updates_applied;
       stats_.update_ops += update_ops;
@@ -555,7 +610,30 @@ ServiceStats BatchServer::stats() const {
   s.snapshots_published = store_.published();
   s.snapshot_buffers_reused = store_.buffers_reused();
   s.snapshot_buffers_allocated = store_.buffers_allocated();
+  if (cfg_.durability) {
+    s.wal_records = cfg_.durability->wal_records();
+    s.wal_bytes = cfg_.durability->wal_bytes();
+    s.checkpoints_written = cfg_.durability->checkpoints_written();
+  }
   return s;
+}
+
+RecoveredServer BatchServer::recover(const std::string& dir,
+                                     ServiceConfig config) {
+  durability::RecoveredState st = durability::Manager::recover(dir);
+  RecoveredServer out;
+  out.forest = std::move(st.forest);
+  out.manager = std::make_shared<durability::Manager>(dir);
+  out.version = st.version;
+  out.replayed = st.replayed;
+  config.durability = out.manager.get();
+  out.server = std::make_unique<BatchServer>(*out.forest, config,
+                                             std::move(st.weights), st.version);
+  {
+    MutexLock slk(out.server->stats_mu_);
+    out.server->stats_.recovery_replayed = st.replayed;
+  }
+  return out;
 }
 
 }  // namespace parct::service

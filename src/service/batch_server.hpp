@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -52,6 +53,10 @@
 #include "rc/rc_forest.hpp"
 #include "rc/tree_aggregate.hpp"
 #include "service/snapshot.hpp"
+
+namespace parct::durability {
+class Manager;
+}  // namespace parct::durability
 
 namespace parct::service {
 
@@ -93,6 +98,14 @@ struct AdmissionDropped : ServiceError {
 struct EpochAborted : ServiceError {
   using ServiceError::ServiceError;
 };
+/// The WAL append for an applied update failed: the update is NOT durable
+/// and its future rejects. In-memory state now leads durable state, so
+/// the server fail-stops further updates (queries keep serving the last
+/// published — durable — version); recovery from disk restores exactly
+/// the acknowledged history.
+struct DurabilityLost : ServiceError {
+  using ServiceError::ServiceError;
+};
 
 struct ServiceConfig {
   /// Bounded admission queues; submit_* blocks (backpressure) while full.
@@ -128,6 +141,21 @@ struct ServiceConfig {
   /// with QueryShed (they have waited longest and are the most stale).
   /// 0 disables shedding.
   std::size_t query_shed_high_water = 0;
+
+  /// Durability (docs/DURABILITY.md). When set, every applied update's
+  /// ChangeSet is appended to the manager's WAL and fsync'd *before* the
+  /// epoch publishes and the update's future resolves — an acknowledged
+  /// update survives a crash. The manager must outlive the server; the
+  /// server opens a fresh WAL segment at its initial version on
+  /// construction. nullptr = in-memory only (the previous behavior).
+  durability::Manager* durability = nullptr;
+  /// Write a checkpoint (and truncate the WAL onto a fresh segment) every
+  /// N applied updates. 0 disables background checkpointing — the WAL
+  /// then grows until Manager::checkpoint is called out-of-band. A failed
+  /// checkpoint write degrades gracefully: it is counted
+  /// (ServiceStats::checkpoint_failures) and retried at the next
+  /// interval, with the previous checkpoint still valid on disk.
+  std::uint64_t checkpoint_every = 0;
 };
 
 /// One batch of independent read-only queries, answered together against
@@ -203,6 +231,13 @@ struct ServiceStats {
   std::uint64_t degraded_epochs = 0;     ///< epochs run in serial fallback
   std::uint64_t admission_drops = 0;     ///< fault-injected admission drops
 
+  // Durability counters (docs/DURABILITY.md; 0 without a manager).
+  std::uint64_t wal_records = 0;         ///< records appended to the WAL
+  std::uint64_t wal_bytes = 0;           ///< bytes in the current segment
+  std::uint64_t checkpoints_written = 0; ///< checkpoints committed
+  std::uint64_t checkpoint_failures = 0; ///< checkpoint writes that failed
+  std::uint64_t recovery_replayed = 0;   ///< WAL records replayed by recover()
+
   // Wall-clock accumulations (0 unless built with PARCT_STATS).
   double epoch_seconds = 0;
   double query_seconds = 0;
@@ -212,16 +247,31 @@ struct ServiceStats {
   std::vector<EpochRecord> epoch_log;  // PARCT_STATS builds only
 };
 
+struct RecoveredServer;
+
 class BatchServer {
  public:
   /// Binds to a fully constructed structure. `weights` seeds the tree
   /// aggregate (missing entries default to 0). The server owns a
   /// DynamicUpdater on `c`; nothing else may mutate `c` while the server
-  /// is alive.
+  /// is alive. `initial_version` is the version the bound structure
+  /// already represents (0 for a fresh structure; the recovered version
+  /// when resuming from a durability directory) — the first applied
+  /// update publishes initial_version + 1.
   explicit BatchServer(contract::ContractionForest& c,
                        ServiceConfig config = {},
-                       std::vector<Weight> weights = {});
+                       std::vector<Weight> weights = {},
+                       std::uint64_t initial_version = 0);
   ~BatchServer();
+
+  /// Crash recovery (docs/DURABILITY.md): loads the newest valid
+  /// checkpoint in `dir`, replays the WAL tail through
+  /// DynamicUpdater::apply, and returns a server resuming at the
+  /// recovered version with durability re-attached (`config.durability`
+  /// is overwritten to point at the returned manager). Throws
+  /// std::runtime_error if `dir` holds no valid checkpoint.
+  static RecoveredServer recover(const std::string& dir,
+                                 ServiceConfig config = {});
 
   BatchServer(const BatchServer&) = delete;
   BatchServer& operator=(const BatchServer&) = delete;
@@ -376,6 +426,17 @@ class BatchServer {
   // paths, never the other way around.
   mutable Mutex stats_mu_ PARCT_ACQUIRED_AFTER(mu_);
   ServiceStats stats_ PARCT_GUARDED_BY(stats_mu_);
+};
+
+/// Everything BatchServer::recover hands back. The server borrows the
+/// forest and the manager, so keep all three alive together (and destroy
+/// the server first — member order here does that).
+struct RecoveredServer {
+  std::unique_ptr<contract::ContractionForest> forest;
+  std::shared_ptr<durability::Manager> manager;
+  std::unique_ptr<BatchServer> server;
+  std::uint64_t version = 0;   ///< version serving resumed at
+  std::uint64_t replayed = 0;  ///< WAL records replayed past the checkpoint
 };
 
 }  // namespace parct::service

@@ -1,6 +1,10 @@
 // Tests for ChangeSet validation and application.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
 #include "forest/change_set.hpp"
 #include "forest/tree_builder.hpp"
 #include "forest/validation.hpp"
@@ -141,6 +145,52 @@ TEST(ChangeSet, SizeAccounting) {
   EXPECT_EQ(m.size(), 4u);
   EXPECT_FALSE(m.empty());
   EXPECT_TRUE(ChangeSet{}.empty());
+}
+
+TEST(ChangeSet, BinaryRoundTrip) {
+  // The WAL record body (docs/DURABILITY.md): encode/decode must be an
+  // exact inverse, including empty sections and an all-empty batch.
+  ChangeSet m;
+  m.del_vertex(4).del_edge(2, 1).del_edge(3, 0).ins_vertex(9).ins_edge(9, 2);
+  std::stringstream buf;
+  save_change_set(m, buf);
+  const ChangeSet r = load_change_set(buf);
+  EXPECT_EQ(r.remove_vertices, m.remove_vertices);
+  EXPECT_EQ(r.add_vertices, m.add_vertices);
+  ASSERT_EQ(r.remove_edges.size(), m.remove_edges.size());
+  for (std::size_t i = 0; i < m.remove_edges.size(); ++i) {
+    EXPECT_EQ(r.remove_edges[i].child, m.remove_edges[i].child);
+    EXPECT_EQ(r.remove_edges[i].parent, m.remove_edges[i].parent);
+  }
+  ASSERT_EQ(r.add_edges.size(), m.add_edges.size());
+  for (std::size_t i = 0; i < m.add_edges.size(); ++i) {
+    EXPECT_EQ(r.add_edges[i].child, m.add_edges[i].child);
+    EXPECT_EQ(r.add_edges[i].parent, m.add_edges[i].parent);
+  }
+
+  std::stringstream empty_buf;
+  save_change_set(ChangeSet{}, empty_buf);
+  EXPECT_TRUE(load_change_set(empty_buf).empty());
+}
+
+TEST(ChangeSet, BinaryDecodeRejectsGarbage) {
+  // Truncation mid-payload.
+  ChangeSet m;
+  m.del_vertex(1).ins_edge(5, 6).ins_edge(7, 8);
+  std::stringstream buf;
+  save_change_set(m, buf);
+  const std::string bytes = buf.str();
+  for (const std::size_t keep : {0ul, 7ul, 33ul, bytes.size() - 1}) {
+    std::stringstream cut(bytes.substr(0, keep));
+    EXPECT_THROW(load_change_set(cut), std::runtime_error) << keep;
+  }
+
+  // Corrupt counts must be rejected before any allocation is committed —
+  // a header declaring 2^56 edges is corruption, not data.
+  std::string lying = bytes;
+  for (int i = 0; i < 8; ++i) lying[8 + i] = static_cast<char>(0xFF);
+  std::stringstream huge(lying);
+  EXPECT_THROW(load_change_set(huge), std::runtime_error);
 }
 
 }  // namespace

@@ -1,0 +1,402 @@
+// Durability-layer tests that run in every build: WAL segment round
+// trips, torn/corrupt tail handling, checkpoint container integrity,
+// multi-segment recovery (including the later-segment fence), and the
+// end-to-end BatchServer checkpoint -> crash -> recover -> serve cycle.
+// The fault-injected kill matrix lives in durability_chaos_test.cpp.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "contraction/construct.hpp"
+#include "contraction/contraction_forest.hpp"
+#include "durability/checkpoint.hpp"
+#include "durability/manager.hpp"
+#include "durability/wal.hpp"
+#include "forest/generators.hpp"
+#include "forest/validation.hpp"
+#include "parallel/scheduler.hpp"
+#include "service/batch_server.hpp"
+
+namespace parct::durability {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    par::scheduler::initialize(4);
+    dir_ = fs::path(::testing::TempDir()) /
+           ("parct_durability_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    par::scheduler::initialize(1);
+  }
+
+  std::string dir() const { return dir_.string(); }
+
+  static WalRecord sample_record(std::uint64_t version) {
+    WalRecord rec;
+    rec.version = version;
+    rec.batch.del_edge(2 + static_cast<VertexId>(version), 1)
+        .ins_vertex(100 + static_cast<VertexId>(version));
+    rec.vertex_weights.push_back(
+        {static_cast<VertexId>(version), static_cast<Weight>(7 * version)});
+    return rec;
+  }
+
+  static void expect_records_equal(const WalRecord& a, const WalRecord& b) {
+    EXPECT_EQ(a.version, b.version);
+    EXPECT_EQ(a.batch.remove_vertices, b.batch.remove_vertices);
+    EXPECT_EQ(a.batch.add_vertices, b.batch.add_vertices);
+    ASSERT_EQ(a.batch.remove_edges.size(), b.batch.remove_edges.size());
+    for (std::size_t i = 0; i < a.batch.remove_edges.size(); ++i) {
+      EXPECT_EQ(a.batch.remove_edges[i].child, b.batch.remove_edges[i].child);
+      EXPECT_EQ(a.batch.remove_edges[i].parent,
+                b.batch.remove_edges[i].parent);
+    }
+    ASSERT_EQ(a.batch.add_edges.size(), b.batch.add_edges.size());
+    for (std::size_t i = 0; i < a.batch.add_edges.size(); ++i) {
+      EXPECT_EQ(a.batch.add_edges[i].child, b.batch.add_edges[i].child);
+      EXPECT_EQ(a.batch.add_edges[i].parent, b.batch.add_edges[i].parent);
+    }
+    EXPECT_EQ(a.vertex_weights, b.vertex_weights);
+  }
+
+  static std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+  }
+
+  static void write_file(const std::string& path, const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DurabilityTest, WalSegmentRoundTrip) {
+  std::vector<WalRecord> want;
+  {
+    WalWriter w(dir(), 10);
+    EXPECT_EQ(w.base_version(), 10u);
+    for (std::uint64_t v = 11; v <= 15; ++v) {
+      want.push_back(sample_record(v));
+      w.append(want.back());
+    }
+    EXPECT_EQ(w.records(), 5u);
+    EXPECT_GT(w.bytes(), 0u);
+  }
+  const SegmentContents seg = read_wal_segment(dir() + "/" + wal_filename(10));
+  EXPECT_TRUE(seg.clean);
+  EXPECT_EQ(seg.base_version, 10u);
+  ASSERT_EQ(seg.records.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    expect_records_equal(seg.records[i], want[i]);
+  }
+}
+
+TEST_F(DurabilityTest, TornTailRecordIsDroppedNotFatal) {
+  const std::string path = dir() + "/" + wal_filename(0);
+  {
+    WalWriter w(dir(), 0);
+    for (std::uint64_t v = 1; v <= 3; ++v) w.append(sample_record(v));
+  }
+  const std::string full = read_file(path);
+
+  // Every proper prefix that cuts into the final record yields exactly
+  // the first two records, never a throw, never garbage.
+  const std::string two = [&] {
+    fs::remove(path);
+    WalWriter w(dir(), 0);
+    w.append(sample_record(1));
+    w.append(sample_record(2));
+    return read_file(path);
+  }();
+  for (const std::size_t keep :
+       {two.size() + 1, two.size() + 5, full.size() - 1}) {
+    write_file(path, full.substr(0, keep));
+    const SegmentContents seg = read_wal_segment(path);
+    EXPECT_FALSE(seg.clean) << keep;
+    ASSERT_EQ(seg.records.size(), 2u) << keep;
+    EXPECT_EQ(seg.records.back().version, 2u) << keep;
+  }
+
+  // A torn header yields zero records but still does not throw.
+  write_file(path, full.substr(0, 5));
+  const SegmentContents torn_header = read_wal_segment(path);
+  EXPECT_FALSE(torn_header.clean);
+  EXPECT_TRUE(torn_header.records.empty());
+}
+
+TEST_F(DurabilityTest, CorruptRecordStopsTheScan) {
+  const std::string path = dir() + "/" + wal_filename(0);
+  {
+    WalWriter w(dir(), 0);
+    for (std::uint64_t v = 1; v <= 3; ++v) w.append(sample_record(v));
+  }
+  std::string bytes = read_file(path);
+  // Flip one byte near the middle of the file: whichever record it lands
+  // in fails its CRC and the scan keeps only the prefix before it.
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x40);
+  write_file(path, bytes);
+  const SegmentContents seg = read_wal_segment(path);
+  EXPECT_FALSE(seg.clean);
+  EXPECT_LT(seg.records.size(), 3u);
+  for (std::size_t i = 0; i < seg.records.size(); ++i) {
+    expect_records_equal(seg.records[i], sample_record(i + 1));
+  }
+}
+
+TEST_F(DurabilityTest, CheckpointRoundTrip) {
+  forest::Forest f = forest::random_forest(400, 5, 4, 0.4, 17);
+  contract::ContractionForest c(400, 4, 99);
+  contract::construct(c, f);
+  std::vector<Weight> weights(400);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = static_cast<Weight>(i * 3 + 1);
+  }
+
+  const std::string path = write_checkpoint(dir(), 42, c, weights);
+  EXPECT_EQ(path, dir() + "/" + checkpoint_filename(42));
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "tmp must be renamed away";
+
+  Checkpoint ckpt = read_checkpoint(path);
+  EXPECT_EQ(ckpt.version, 42u);
+  EXPECT_EQ(ckpt.weights, weights);
+  EXPECT_FALSE(contract::structural_diff(ckpt.forest, c).has_value());
+}
+
+TEST_F(DurabilityTest, CorruptCheckpointIsRejected) {
+  forest::Forest f = forest::random_forest(120, 5, 4, 0.4, 18);
+  contract::ContractionForest c(120, 4, 7);
+  contract::construct(c, f);
+  const std::string path =
+      write_checkpoint(dir(), 1, c, std::vector<Weight>(120, 1));
+  const std::string good = read_file(path);
+
+  // One flipped byte anywhere in a section payload fails that section's
+  // CRC; try several offsets across the file.
+  for (const std::size_t off :
+       {std::size_t(40), good.size() / 2, good.size() - 2}) {
+    std::string bad = good;
+    bad[off] = static_cast<char>(bad[off] ^ 0x01);
+    write_file(path, bad);
+    EXPECT_THROW(read_checkpoint(path), std::runtime_error) << off;
+  }
+  // Truncation at any depth is rejected, not UB.
+  for (const std::size_t keep :
+       {std::size_t(0), std::size_t(11), good.size() / 3, good.size() - 1}) {
+    write_file(path, good.substr(0, keep));
+    EXPECT_THROW(read_checkpoint(path), std::runtime_error) << keep;
+  }
+  write_file(path, good + "trailing");
+  EXPECT_THROW(read_checkpoint(path), std::runtime_error);
+}
+
+TEST_F(DurabilityTest, RecoverSkipsCorruptNewestCheckpoint) {
+  forest::Forest f = forest::random_forest(150, 5, 4, 0.4, 19);
+  contract::ContractionForest c(150, 4, 5);
+  contract::construct(c, f);
+  write_checkpoint(dir(), 3, c, std::vector<Weight>(150, 2));
+
+  // A corrupt newer checkpoint and a stray .tmp both lose to the valid 3.
+  write_file(dir() + "/" + checkpoint_filename(9), "not a checkpoint");
+  write_file(dir() + "/" + checkpoint_filename(12) + ".tmp", "half-written");
+
+  const RecoveredState st = Manager::recover(dir());
+  EXPECT_EQ(st.version, 3u);
+  EXPECT_EQ(st.replayed, 0u);
+  EXPECT_FALSE(contract::structural_diff(*st.forest, c).has_value());
+  EXPECT_EQ(st.weights, std::vector<Weight>(150, 2));
+}
+
+TEST_F(DurabilityTest, RecoverWithNoValidCheckpointThrows) {
+  EXPECT_THROW(Manager::recover(dir()), std::runtime_error);
+  write_file(dir() + "/" + checkpoint_filename(1), "garbage");
+  EXPECT_THROW(Manager::recover(dir()), std::runtime_error);
+}
+
+// Drives a checkpointing server through `updates` random delete batches in
+// step() mode, recording the oracle forest at every version. Returns the
+// chain (index = version) so a recovered state can be checked at exactly
+// the version it reports.
+struct DrivenHistory {
+  std::vector<forest::Forest> oracle_at;  // plain forest per version
+  std::vector<std::uint64_t> acked;       // versions with resolved futures
+};
+
+DrivenHistory drive_workload(const std::string& dir, std::size_t n,
+                             std::uint64_t seed, int updates,
+                             std::uint64_t checkpoint_every) {
+  forest::Forest f = forest::random_forest(n, 6, 4, 0.4, seed);
+  contract::ContractionForest c(n, 4, seed ^ 0xABCD);
+  contract::construct(c, f);
+
+  Manager mgr(dir);
+  mgr.checkpoint(c, std::vector<service::Weight>(n, 1), 0);
+
+  service::ServiceConfig cfg;
+  cfg.durability = &mgr;
+  cfg.checkpoint_every = checkpoint_every;
+  service::BatchServer server(c, cfg, std::vector<service::Weight>(n, 1));
+
+  DrivenHistory h;
+  h.oracle_at.push_back(f);
+  for (int i = 0; i < updates; ++i) {
+    service::UpdateRequest u;
+    u.batch = forest::make_delete_batch(h.oracle_at.back(), 3,
+                                        seed * 100 + static_cast<std::uint64_t>(i));
+    u.vertex_weights.push_back(
+        {static_cast<VertexId>(i % n), static_cast<service::Weight>(i + 2)});
+    h.oracle_at.push_back(
+        forest::apply_change_set(h.oracle_at.back(), u.batch));
+    auto fut = server.submit_update(std::move(u));
+    EXPECT_TRUE(server.step());
+    h.acked.push_back(fut.get().version);
+  }
+  server.stop();
+  return h;  // server and manager destroyed: the "crash"
+}
+
+TEST_F(DurabilityTest, RecoverReplaysWalTailOntoCheckpoint) {
+  const std::size_t n = 500;
+  // checkpoint_every = 4 over 10 updates: last checkpoint at version 8,
+  // records 9 and 10 only in the WAL tail.
+  const DrivenHistory h = drive_workload(dir(), n, 23, 10, 4);
+  ASSERT_EQ(h.acked.back(), 10u);
+
+  const RecoveredState st = Manager::recover(dir());
+  EXPECT_EQ(st.version, 10u);
+  EXPECT_EQ(st.replayed, 2u);
+
+  // The recovered structure must equal a from-scratch construction of the
+  // version-10 oracle forest up to the recorded history it serves; compare
+  // via the exported base forest (the contraction itself was built by a
+  // different update path, so only the forest layer is comparable).
+  const forest::Forest got = st.forest->extract_forest();
+  const forest::Forest& want = h.oracle_at[10];
+  ASSERT_GE(got.capacity(), want.capacity());
+  for (VertexId v = 0; v < want.capacity(); ++v) {
+    ASSERT_EQ(got.present(v), want.present(v)) << v;
+    if (!want.present(v)) continue;
+    ASSERT_EQ(forest::root_of(got, v), forest::root_of(want, v)) << v;
+  }
+}
+
+TEST_F(DurabilityTest, RecoveredServerServesAndAppendsDurably) {
+  const std::size_t n = 400;
+  const DrivenHistory h = drive_workload(dir(), n, 31, 6, 3);
+
+  service::RecoveredServer rec = service::BatchServer::recover(dir());
+  EXPECT_EQ(rec.version, 6u);
+  EXPECT_EQ(rec.server->version(), 6u);
+  EXPECT_EQ(rec.server->stats().recovery_replayed, rec.replayed);
+
+  // Queries answer against the recovered version-6 state.
+  const forest::Forest& want = h.oracle_at[6];
+  service::QueryBatch q;
+  for (VertexId v = 0; v < n; v += 7) q.roots.push_back(v);
+  auto qfut = rec.server->submit_queries(q);
+  ASSERT_TRUE(rec.server->step());
+  const service::QueryResult r = qfut.get();
+  EXPECT_EQ(r.version, 6u);
+  for (std::size_t i = 0; i < q.roots.size(); ++i) {
+    if (!want.present(q.roots[i])) continue;
+    ASSERT_EQ(r.roots[i], forest::root_of(want, q.roots[i])) << i;
+  }
+
+  // New updates keep appending to a fresh segment based at the recovered
+  // version — and survive a second crash/recover cycle.
+  service::UpdateRequest u;
+  u.batch = forest::make_delete_batch(want, 2, 777);
+  const forest::Forest after = forest::apply_change_set(want, u.batch);
+  auto ufut = rec.server->submit_update(std::move(u));
+  ASSERT_TRUE(rec.server->step());
+  EXPECT_EQ(ufut.get().version, 7u);
+  EXPECT_GE(rec.server->stats().wal_records, 1u);
+  rec.server->stop();
+  rec.server.reset();
+
+  const RecoveredState st2 = Manager::recover(dir());
+  EXPECT_EQ(st2.version, 7u);
+  const forest::Forest got = st2.forest->extract_forest();
+  for (VertexId v = 0; v < after.capacity(); ++v) {
+    ASSERT_EQ(got.present(v), after.present(v)) << v;
+    if (after.present(v)) {
+      ASSERT_EQ(forest::root_of(got, v), forest::root_of(after, v)) << v;
+    }
+  }
+}
+
+TEST_F(DurabilityTest, CheckpointingPrunesSupersededFiles) {
+  const std::size_t n = 300;
+  // 12 updates at checkpoint_every=2 -> checkpoints 2,4,...,12; only the
+  // newest kKeepCheckpoints (and the segments they need) survive.
+  drive_workload(dir(), n, 41, 12, 2);
+  std::vector<std::uint64_t> ckpts;
+  std::vector<std::uint64_t> segs;
+  for (const auto& e : fs::directory_iterator(dir())) {
+    const std::string name = e.path().filename().string();
+    if (const auto v = checkpoint_version_of(name)) ckpts.push_back(*v);
+    if (const auto b = wal_base_of(name)) segs.push_back(*b);
+  }
+  EXPECT_EQ(ckpts.size(), Manager::kKeepCheckpoints);
+  EXPECT_NE(std::find(ckpts.begin(), ckpts.end(), 12u), ckpts.end());
+  EXPECT_NE(std::find(ckpts.begin(), ckpts.end(), 10u), ckpts.end());
+  for (const std::uint64_t b : segs) {
+    EXPECT_GE(b, 10u) << "segments before the oldest kept checkpoint";
+  }
+  // And the pruned directory still recovers to the full history.
+  EXPECT_EQ(Manager::recover(dir()).version, 12u);
+}
+
+TEST_F(DurabilityTest, ServiceStatsExposeDurabilityCounters) {
+  const std::size_t n = 300;
+  forest::Forest f = forest::random_forest(n, 6, 4, 0.4, 51);
+  contract::ContractionForest c(n, 4, 9);
+  contract::construct(c, f);
+  Manager mgr(dir());
+  mgr.checkpoint(c, std::vector<service::Weight>(n, 1), 0);
+
+  service::ServiceConfig cfg;
+  cfg.durability = &mgr;
+  cfg.checkpoint_every = 2;
+  service::BatchServer server(c, cfg, std::vector<service::Weight>(n, 1));
+  forest::Forest cur = f;
+  for (int i = 0; i < 4; ++i) {
+    service::UpdateRequest u;
+    u.batch = forest::make_delete_batch(cur, 2, 600 + i);
+    cur = forest::apply_change_set(cur, u.batch);
+    auto fut = server.submit_update(std::move(u));
+    ASSERT_TRUE(server.step());
+    fut.get();
+  }
+  const service::ServiceStats s = server.stats();
+  EXPECT_EQ(s.wal_records, 4u);
+  EXPECT_GT(s.wal_bytes, 0u);
+  EXPECT_EQ(s.checkpoints_written, 3u);  // seed checkpoint + versions 2, 4
+  EXPECT_EQ(s.checkpoint_failures, 0u);
+  EXPECT_EQ(s.recovery_replayed, 0u);
+}
+
+}  // namespace
+}  // namespace parct::durability

@@ -189,5 +189,100 @@ TEST(Serialize, RejectsTruncation) {
   EXPECT_THROW(load(cut), std::runtime_error);
 }
 
+// Regression helpers for the corrupt-header hardening: a saved structure
+// with one header field overwritten in place.
+namespace {
+
+std::string saved_bytes(const ContractionForest& c) {
+  std::stringstream buf;
+  save(c, buf);
+  return buf.str();
+}
+
+void poke(std::string& bytes, std::size_t offset, std::uint64_t value,
+          std::size_t size) {
+  ASSERT_LE(offset + size, bytes.size());
+  for (std::size_t i = 0; i < size; ++i) {
+    bytes[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+}
+
+// Header layout: magic u64 @0, version u32 @8, capacity u64 @12,
+// degree_bound u32 @20, seed u64 @24; first vertex duration u32 @32.
+constexpr std::size_t kCapacityOffset = 12;
+constexpr std::size_t kFirstDurationOffset = 32;
+
+}  // namespace
+
+TEST(Serialize, RejectsHugeDeclaredCapacity) {
+  // Regression: load() used to allocate the declared capacity up front, so
+  // a corrupt header drove a multi-GB allocation before truncation was
+  // noticed. An insane capacity must be rejected outright...
+  forest::Forest f = forest::build_tree(64, 4, 0.5, 9);
+  ContractionForest c(f.capacity(), 4, 11);
+  construct(c, f);
+  std::string bytes = saved_bytes(c);
+  poke(bytes, kCapacityOffset, std::uint64_t(1) << 60, 8);
+  std::stringstream huge(bytes);
+  EXPECT_THROW(load(huge), std::runtime_error);
+
+  // ...and a merely-lying capacity (within bounds but unbacked by bytes)
+  // must hit the truncation path without committing the memory first.
+  poke(bytes, kCapacityOffset, std::uint64_t(1) << 30, 8);
+  std::stringstream lying(bytes);
+  EXPECT_THROW(load(lying), std::runtime_error);
+}
+
+TEST(Serialize, RejectsInsaneVertexDuration) {
+  // Regression: duration = UINT32_MAX wrapped max_rounds + 1 to 0 in
+  // coins().ensure_rounds and pre-allocated UINT32_MAX round records.
+  forest::Forest f = forest::build_tree(64, 4, 0.5, 9);
+  ContractionForest c(f.capacity(), 4, 11);
+  construct(c, f);
+  std::string bytes = saved_bytes(c);
+  poke(bytes, kFirstDurationOffset, 0xFFFFFFFFull, 4);
+  std::stringstream wrapped(bytes);
+  EXPECT_THROW(load(wrapped), std::runtime_error);
+
+  // Large-but-not-wrapping is still beyond any real contraction depth.
+  poke(bytes, kFirstDurationOffset, (1ull << 20) + 1, 4);
+  std::stringstream deep(bytes);
+  EXPECT_THROW(load(deep), std::runtime_error);
+}
+
+namespace {
+
+// A streambuf that accepts nothing — every write fails, like a full disk
+// surfacing through the stream state.
+class FailingBuf : public std::streambuf {
+ protected:
+  int_type overflow(int_type) override { return traits_type::eof(); }
+  std::streamsize xsputn(const char*, std::streamsize) override { return 0; }
+};
+
+}  // namespace
+
+TEST(Serialize, SaveReportsStreamWriteFailure) {
+  // Regression: save() never checked the stream, so a failed write
+  // produced a silently truncated checkpoint.
+  forest::Forest f = forest::build_tree(32, 4, 0.5, 9);
+  ContractionForest c(f.capacity(), 4, 11);
+  construct(c, f);
+  FailingBuf sink;
+  std::ostream out(&sink);
+  EXPECT_THROW(save(c, out), std::runtime_error);
+}
+
+TEST(SerializeAggregate, SaveReportsStreamWriteFailure) {
+  forest::Forest f = forest::build_tree(32, 4, 0.5, 9);
+  ContractionForest c(f.capacity(), 4, 11);
+  construct(c, f);
+  rc::RCForest rcf(c);
+  rc::TreeAggregate<long> agg(rcf, std::vector<long>(f.capacity(), 1));
+  FailingBuf sink;
+  std::ostream out(&sink);
+  EXPECT_THROW(rc::save_aggregate(agg, out), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace parct::contract

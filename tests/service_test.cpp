@@ -290,5 +290,23 @@ TEST_F(ServiceTest, ConcurrentStopIsSafe) {
   }
 }
 
+TEST_F(ServiceTest, StepModeStopRejectsQueuedFutures) {
+  // Guard on the ConcurrentStopIsSafe contract across the durability
+  // refactors: in step() mode there is no engine thread to drain the
+  // queues, so stop() itself must reject everything still admitted with
+  // ServerStopped — no future survives stop() unresolved.
+  BatchServer server(*c_, {}, std::vector<Weight>(kN, 1));
+  auto q1 = server.submit_queries(sample_queries(50, 32));
+  auto q2 = server.submit_queries(sample_queries(51, 32));
+  UpdateRequest u;
+  u.batch = forest::make_delete_batch(f_, 3, 52);
+  auto uf = server.submit_update(std::move(u));
+  server.stop();  // no step() ran: all three are still queued
+  EXPECT_THROW(q1.get(), ServerStopped);
+  EXPECT_THROW(q2.get(), ServerStopped);
+  EXPECT_THROW(uf.get(), ServerStopped);
+  EXPECT_THROW(server.submit_queries(QueryBatch{}), ServerStopped);
+}
+
 }  // namespace
 }  // namespace parct::service

@@ -129,6 +129,33 @@ python3 "$REPO/tools/lint_parallel.py" --self-test || lint_ok=FAIL
 python3 "$REPO/tools/lint_parallel.py" || lint_ok=FAIL
 record lint-parallel "$lint_ok"
 
+# --- durability smoke (mirrors the `durability` CI job's CLI gate) -------
+# The full chaos-kill matrix needs a -DPARCT_FAULT_INJECT=ON build and runs
+# in CI (ctest -L 'durability|chaos'); locally this row drives the CLI
+# checkpoint -> restore round trip against any existing build's parct_cli
+# and requires the restored structure to be byte-identical
+# (docs/DURABILITY.md).
+# Prefer the canonical build dir; older build-* trees may carry a CLI
+# from before the checkpoint/restore subcommands existed.
+CLI=""
+for d in "$REPO"/build/tools/parct_cli "$REPO"/build*/tools/parct_cli; do
+  [ -x "$d" ] && CLI="$d" && break
+done
+if [ -n "$CLI" ]; then
+  echo "== durability smoke ($CLI) =="
+  dur_ok=pass
+  DUR_TMP="$(mktemp -d)"
+  { "$CLI" gen 2000 0.5 7 "$DUR_TMP/t.parct" \
+      && "$CLI" checkpoint "$DUR_TMP/t.parct" "$DUR_TMP/ckpt" \
+      && "$CLI" restore "$DUR_TMP/ckpt" "$DUR_TMP/restored.parct" \
+      && cmp "$DUR_TMP/t.parct" "$DUR_TMP/restored.parct"; } || dur_ok=FAIL
+  rm -rf "$DUR_TMP"
+  record durability-smoke "$dur_ok"
+else
+  echo "check.sh: no built parct_cli found — skipping durability smoke"
+  record durability-smoke skipped
+fi
+
 # --- summary ------------------------------------------------------------
 echo
 echo "check.sh summary:"

@@ -48,6 +48,14 @@ Rules (see docs/STATIC_ANALYSIS.md):
                   build; direct calls (or hand-rolled conditionals) leave
                   fault-registry traffic in production binaries
                   (docs/TESTING.md "Fault injection").
+  durability-io   std::ofstream/std::fstream file writes in src/service/ or
+                  src/durability/ outside the WAL/checkpoint writers
+                  (durability/wal.cpp, durability/checkpoint.cpp) — durable
+                  state must flow through those writers, which use fd-level
+                  I/O with explicit fsync, CRC trailers, and the
+                  temp-file-plus-rename commit protocol; a buffered ofstream
+                  has no fsync and no atomicity, so a crash can leave a
+                  torn file that recovery then trusts (docs/DURABILITY.md).
 
 Suppression: a line (or the line above it) containing
 `// parct-lint: allow(<rule>)` suppresses that rule for that line; the
@@ -151,6 +159,18 @@ FAULT_IFDEF = re.compile(r"#\s*(el)?if(def)?\b.*\bPARCT_FAULT_INJECT\b")
 # adaptive-for: raw parallel_for call sites (not #includes — those carry no
 # '(' after the name). src/parallel/ itself implements both spellings.
 RAW_PARALLEL_FOR = re.compile(r"\bparallel_for(_blocked)?\s*\(")
+
+# durability-io: write-capable std file streams. std::ostream/istream
+# references (the serialization APIs) are fine — only the file-opening
+# stream types bypass the fd-level durability protocol. Reading with
+# std::ifstream is allowed: recovery validates what it reads via CRCs.
+RAW_FILE_WRITE = re.compile(r"\bstd::(ofstream|fstream)\b")
+
+# The sanctioned writers: fd-level I/O + fsync + atomic rename live here.
+DURABILITY_WRITERS = {
+    "src/durability/wal.cpp",
+    "src/durability/checkpoint.cpp",
+}
 
 # Loop constructs that open a tracked lambda extent for the shadow-write /
 # vector-in-phase rules; adaptive_for bodies are the same bodies
@@ -313,6 +333,21 @@ def lint_file(path: Path, findings: list[str]) -> None:
                     "PARCT_FAULT_STALL — direct fault::detail calls or "
                     "PARCT_FAULT_INJECT conditionals do not compile away in "
                     "OFF builds"
+                )
+
+        # durability-io: file-stream writes in the serving/durability
+        # layers outside the sanctioned WAL/checkpoint writers.
+        if (
+            (in_service or rel.startswith("src/durability/"))
+            and rel not in DURABILITY_WRITERS
+            and RAW_FILE_WRITE.search(code)
+        ):
+            if not allowed("durability-io", lines, idx):
+                findings.append(
+                    f"{loc}: durability-io: raw std::ofstream/fstream in the "
+                    "serving/durability layer — durable writes must go "
+                    "through the WAL/checkpoint writers (fd-level I/O, "
+                    "fsync, atomic rename; docs/DURABILITY.md)"
                 )
 
         # adaptive-for: frontier loops in src/contraction/ must use the
@@ -652,6 +687,63 @@ def self_test() -> int:
             "src/foo/hot.cpp",
             "// parct-lint: allow(fault-macro) reason: test fixture\n"
             "bool probe() { return fault::detail::should_fire(s); }\n",
+            None,
+        ),
+        (
+            # An ofstream in the serving layer bypasses the WAL/checkpoint
+            # writers' fsync + atomic-rename protocol.
+            "src/service/foo.cpp",
+            "void f() {\n"
+            '  std::ofstream out("state.bin", std::ios::binary);\n'
+            "}\n",
+            "durability-io",
+        ),
+        (
+            # ...and so does one in the durability layer itself, outside
+            # the sanctioned writer files.
+            "src/durability/manager.cpp",
+            "void f() {\n"
+            '  std::fstream out("wal.log");\n'
+            "}\n",
+            "durability-io",
+        ),
+        (
+            # The writer files are the sanctioned location.
+            "src/durability/checkpoint.cpp",
+            "void f() {\n"
+            '  std::ofstream probe("x");\n'
+            "}\n",
+            None,
+        ),
+        (
+            # Reading is fine — recovery CRC-checks what it reads.
+            "src/durability/manager.cpp",
+            "void f() {\n"
+            '  std::ifstream in("checkpoint.ckpt", std::ios::binary);\n'
+            "}\n",
+            None,
+        ),
+        (
+            # std::ostream& serialization APIs are not file writes.
+            "src/service/foo.cpp",
+            "void save_thing(std::ostream& out);\n",
+            None,
+        ),
+        (
+            # Outside the serving/durability layers the rule is silent
+            # (tools and benchmarks write ordinary reports).
+            "src/contraction/foo.cpp",
+            "void f() {\n"
+            '  std::ofstream out("report.txt");\n'
+            "}\n",
+            None,
+        ),
+        (
+            "src/service/foo.cpp",
+            "void f() {\n"
+            "  // parct-lint: allow(durability-io) reason: test fixture\n"
+            '  std::ofstream out("debug.dump");\n'
+            "}\n",
             None,
         ),
     ]

@@ -6,6 +6,8 @@
 //   parct_cli validate <file>                        full independent check
 //   parct_cli dot <file> <round>                     Graphviz of round i
 //   parct_cli replay [--race-detect] <trace>         re-run a harness trace
+//   parct_cli checkpoint <file> <dir>                seed a durability dir
+//   parct_cli restore <dir> <out>                    recover to a file
 //
 // Structures are stored in the parct binary format (contraction/serialize);
 // replay traces are the text files the differential harness dumps on
@@ -23,6 +25,7 @@
 #include "contraction/dynamic_update.hpp"
 #include "contraction/serialize.hpp"
 #include "contraction/validate.hpp"
+#include "durability/manager.hpp"
 #include "forest/generators.hpp"
 #include "forest/tree_builder.hpp"
 #include "forest/validation.hpp"
@@ -68,6 +71,8 @@ int usage() {
                "  parct_cli validate <file>\n"
                "  parct_cli dot <file> <round>\n"
                "  parct_cli replay [--race-detect] <trace>\n"
+               "  parct_cli checkpoint <file> <dir>\n"
+               "  parct_cli restore <dir> <out>\n"
                "\n"
                "  --serial-cutover N  adaptive serial cutover override: "
                "frontiers of at\n"
@@ -254,6 +259,33 @@ int cmd_replay(int argc, char** argv) {
   return 0;
 }
 
+// checkpoint <file> <dir>: seed (or roll forward) a durability directory
+// from a saved structure — writes a checkpoint at version 0 with an
+// all-zero weight table, the image BatchServer::recover resumes from.
+int cmd_checkpoint(int argc, char** argv) {
+  if (argc != 4) return usage();
+  contract::ContractionForest c = load_file(argv[2]);
+  durability::Manager mgr(argv[3]);
+  const std::vector<durability::Weight> weights(c.capacity(), 0);
+  mgr.checkpoint(c, weights, /*version=*/0);
+  std::printf("checkpointed %s at version 0 into %s\n", argv[2], argv[3]);
+  return 0;
+}
+
+// restore <dir> <out>: run the full recovery procedure (newest valid
+// checkpoint + WAL tail replay) and save the recovered structure.
+int cmd_restore(int argc, char** argv) {
+  if (argc != 4) return usage();
+  durability::RecoveredState st = durability::Manager::recover(argv[2]);
+  save_file(*st.forest, argv[3]);
+  std::printf("recovered version %llu (%llu WAL records replayed), "
+              "capacity %zu -> %s\n",
+              static_cast<unsigned long long>(st.version),
+              static_cast<unsigned long long>(st.replayed),
+              st.forest->capacity(), argv[3]);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -278,6 +310,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[1], "dot") == 0) return cmd_dot(argc, argv);
     if (std::strcmp(argv[1], "replay") == 0) return cmd_replay(argc, argv);
+    if (std::strcmp(argv[1], "checkpoint") == 0) {
+      return cmd_checkpoint(argc, argv);
+    }
+    if (std::strcmp(argv[1], "restore") == 0) return cmd_restore(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
